@@ -1,0 +1,10 @@
+"""Benchmark E1: Base-graph census (paper Figure 1 / Section 3).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e1_base_graphs(run_experiment):
+    run_experiment("E1")

@@ -1,0 +1,10 @@
+"""Benchmark E2: Meta-vertex census (paper Figure 2, Lemma 2).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e2_metavertices(run_experiment):
+    run_experiment("E2")

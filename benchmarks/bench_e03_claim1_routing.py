@@ -1,0 +1,10 @@
+"""Benchmark E3: Claim 1 decoder routing (Section 5, Figures 3-4).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e3_claim1_routing(run_experiment):
+    run_experiment("E3")

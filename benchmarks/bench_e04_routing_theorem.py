@@ -1,0 +1,10 @@
+"""Benchmark E4: Theorem 2 routing certificates (Figure 5).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e4_routing_theorem(run_experiment):
+    run_experiment("E4")

@@ -1,0 +1,10 @@
+"""Benchmark E5: Lemma 4 chain concatenation (Figure 6).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e5_lemma4(run_experiment):
+    run_experiment("E5")

@@ -1,0 +1,10 @@
+"""Benchmark E6: Lemma 3 / Claim 2 Hall matching and lifting (Figures 7-8).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e6_lemma3_hall(run_experiment):
+    run_experiment("E6")

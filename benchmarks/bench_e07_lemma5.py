@@ -1,0 +1,10 @@
+"""Benchmark E7: Lemma 5 / Lemma 6 Hall condition via Winograd's bound (Figure 9).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e7_lemma5(run_experiment):
+    run_experiment("E7")

@@ -1,0 +1,10 @@
+"""Benchmark E8: Segment argument on real executions (Equations 1-2).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e8_segments(run_experiment):
+    run_experiment("E8")

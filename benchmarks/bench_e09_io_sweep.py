@@ -1,0 +1,10 @@
+"""Benchmark E9: Theorem 1 sequential: measured I/O vs bounds.
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e9_io_sweep(run_experiment):
+    run_experiment("E9")

@@ -1,0 +1,10 @@
+"""Benchmark E10: Strassen vs classical crossovers.
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e10_crossover(run_experiment):
+    run_experiment("E10")

@@ -1,0 +1,10 @@
+"""Benchmark E11: Theorem 1 parallel: CAPS bandwidth vs bounds.
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e11_parallel(run_experiment):
+    run_experiment("E11")

@@ -1,0 +1,10 @@
+"""Benchmark E12: Path routing vs edge expansion (beyond [6]).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every paper-claim check; pytest-benchmark tracks the
+regeneration cost.
+"""
+
+
+def test_e12_expansion(run_experiment):
+    run_experiment("E12")

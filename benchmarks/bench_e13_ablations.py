@@ -1,0 +1,9 @@
+"""Benchmark E13: ablations and the Section-8 extension.
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every check; pytest-benchmark tracks the regeneration cost.
+"""
+
+
+def test_e13_ablations(run_experiment):
+    run_experiment("E13")

@@ -1,0 +1,9 @@
+"""Benchmark E14: the three proof techniques side by side (Section 2).
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
+and asserts every check; pytest-benchmark tracks the regeneration cost.
+"""
+
+
+def test_e14_techniques(run_experiment):
+    run_experiment("E14")

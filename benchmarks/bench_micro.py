@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not tied to a paper figure; these keep the substrate's performance
+honest (CDAG construction, pebble-game execution, routing construction,
+the kernels) so the experiment benches stay fast as the code evolves.
+"""
+
+import numpy as np
+
+from repro.bilinear import strassen
+from repro.cdag import build_cdag, compute_metavertices
+from repro.linalg import strassen_matmul
+from repro.pebbling import CacheExecutor
+from repro.routing import lemma3_routing, theorem2_routing
+from repro.schedules import recursive_schedule
+from repro.tracesim import FullyAssociativeLRU, trace_blocked
+
+
+def test_build_cdag_r4(benchmark):
+    benchmark(build_cdag, strassen(), 4)
+
+
+def test_metavertices_r4(benchmark):
+    g = build_cdag(strassen(), 4)
+    benchmark(compute_metavertices, g)
+
+
+def test_recursive_schedule_r4(benchmark):
+    g = build_cdag(strassen(), 4)
+    benchmark(recursive_schedule, g)
+
+
+def test_executor_lru_r4(benchmark):
+    g = build_cdag(strassen(), 4)
+    executor = CacheExecutor(g)
+    sched = executor.validate_schedule(recursive_schedule(g))
+    benchmark(executor.run, sched, 64, "lru", False)
+
+
+def test_executor_belady_r3(benchmark):
+    g = build_cdag(strassen(), 3)
+    executor = CacheExecutor(g)
+    sched = executor.validate_schedule(recursive_schedule(g))
+    benchmark(executor.run, sched, 64, "belady", False)
+
+
+def test_lemma3_routing_k3(benchmark):
+    g = build_cdag(strassen(), 3)
+    benchmark(lemma3_routing, g)
+
+
+def test_theorem2_routing_k2(benchmark):
+    g = build_cdag(strassen(), 2)
+    benchmark(theorem2_routing, g)
+
+
+def test_strassen_matmul_64(benchmark):
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    benchmark(strassen_matmul, A, B, None, 8)
+
+
+def test_trace_sim_blocked_32(benchmark):
+    def run():
+        return FullyAssociativeLRU(192).run(trace_blocked(32, 8))
+
+    benchmark(run)

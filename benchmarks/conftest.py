@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Each experiment bench runs the experiment through pytest-benchmark (so
+wall-clock regenerating cost is tracked) and *prints the experiment's
+tables* — the rows recorded in EXPERIMENTS.md — while asserting every
+paper-claim check passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult, get_experiment
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Benchmark an experiment, print its report, assert its checks."""
+
+    def runner(experiment_id: str, **params) -> ExperimentResult:
+        fn = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            lambda: fn(**params), iterations=1, rounds=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"{experiment_id} failed checks: {failed}"
+        return result
+
+    return runner

@@ -1,0 +1,76 @@
+"""Strassen vs classical: flops, I/O bounds, and trace-simulated I/O.
+
+Reproduces the "who wins, where" picture: classical multiplication wins
+small sizes, the fast algorithm wins past the crossover in arithmetic
+and — by Theorem 1 vs Hong-Kung — asymptotically in communication too.
+
+Run:  python examples/io_crossover.py
+"""
+
+import math
+
+from repro.bilinear import strassen
+from repro.bounds import (
+    classical_io_lower_bound,
+    flop_crossover_n,
+    flops,
+    io_lower_bound,
+)
+from repro.tracesim import FullyAssociativeLRU, trace_blocked, trace_strassen_recursive
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    alg = strassen()
+
+    flop_table = TextTable(
+        ["n", "strassen flops", "classical (2n^3-n^2)", "strassen/classical"],
+        title="Arithmetic comparison",
+    )
+    for r in range(3, 11):
+        n = 2**r
+        fast = flops(alg, n)
+        cls = 2 * n**3 - n * n
+        flop_table.add_row([n, f"{fast:.3e}", f"{cls:.3e}",
+                            round(fast / cls, 3)])
+    print(flop_table.render())
+    print(f"\nflop crossover at n ~ {flop_crossover_n(alg):.0f} "
+          "(pure recursion, no cutoff tuning)\n")
+
+    bound_table = TextTable(
+        ["n", "M", "Hong-Kung n^3/sqrt(M)", "Theorem 1 (n/sqrt(M))^w M",
+         "classical/fast"],
+        title="I/O lower-bound comparison",
+    )
+    M = 2**15
+    for n_exp in (8, 11, 14, 17, 20):
+        n = 2**n_exp
+        cls = classical_io_lower_bound(n, M)
+        fast = io_lower_bound(alg, n, M)
+        bound_table.add_row(
+            [n, M, f"{cls:.3e}", f"{fast:.3e}", round(cls / fast, 2)]
+        )
+    print(bound_table.render())
+
+    print("\nTrace-simulated I/O (LRU cache, line size 1):")
+    trace_table = TextTable(["kernel", "n", "M", "I/O"])
+    n, M = 64, 1536
+    block = max(2, int(math.sqrt(M / 3)))
+    trace_table.add_row(
+        ["blocked classical", n, M,
+         FullyAssociativeLRU(M).run(trace_blocked(n, block)).io]
+    )
+    trace_table.add_row(
+        ["recursive strassen", n, M,
+         FullyAssociativeLRU(M).run(
+             trace_strassen_recursive(alg, n, cutoff=8)
+         ).io]
+    )
+    print(trace_table.render())
+    print("\nAt laptop-scale n the classical blocked kernel still wins "
+          "measured I/O\n(its constants are smaller); the bound table "
+          "shows the asymptotic reversal.")
+
+
+if __name__ == "__main__":
+    main()

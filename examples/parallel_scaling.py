@@ -1,0 +1,75 @@
+"""Parallel bandwidth: CAPS simulation vs Theorem 1's two regimes.
+
+Sweeps processor counts and local-memory sizes for Strassen's algorithm
+on the simulated distributed machine, showing
+
+- perfect strong scaling (BW ~ 1/P) while memory is plentiful, down to
+  the memory-independent floor n^2 / P^(2/omega0);
+- the (n/sqrt(M))^omega0 * M/P regime when memory is scarce (each lost
+  memory level costs a factor b/a = 7/4);
+- classical 2D / 2.5D / 3D baselines for contrast.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro.bilinear import strassen
+from repro.bounds import (
+    memory_independent_lower_bound,
+    parallel_bandwidth_lower_bound,
+)
+from repro.parallel import (
+    DistributedMachine,
+    classical_25d_bandwidth,
+    classical_3d_bandwidth,
+    minimum_memory,
+    simulate_caps,
+)
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    alg = strassen()
+    n = 2**10
+
+    print("Strong scaling with plentiful memory:")
+    table = TextTable(
+        ["P", "schedule", "BW (CAPS)", "n^2/P^(2/w) bound", "ratio",
+         "classical 3D"]
+    )
+    for t in range(1, 6):
+        P = 7**t
+        run = simulate_caps(alg, n, DistributedMachine(P, 10**12))
+        bound = memory_independent_lower_bound(alg, n, P)
+        table.add_row(
+            [P, run.schedule_string, run.bandwidth_cost, round(bound),
+             round(run.bandwidth_cost / bound, 2),
+             round(classical_3d_bandwidth(n, P))]
+        )
+    print(table.render())
+
+    print("\nMemory-constrained regime (P = 7^3):")
+    P = 7**3
+    base = minimum_memory(alg, n, P)
+    table2 = TextTable(
+        ["M / (3n^2/P)", "schedule", "BW (CAPS)",
+         "(n/sqrt(M))^w M/P bound", "2.5D classical (c fit)"]
+    )
+    for mult in (1.5, 2, 4, 8, 32, 128):
+        M = int(base * mult)
+        run = simulate_caps(alg, n, DistributedMachine(P, M))
+        bound = parallel_bandwidth_lower_bound(alg, n, M, P)
+        from repro.parallel import replication_for_memory
+
+        c = replication_for_memory(n, P, M)
+        table2.add_row(
+            [mult, run.schedule_string, run.bandwidth_cost, round(bound),
+             round(classical_25d_bandwidth(n, P, c))]
+        )
+    print(table2.render())
+    print("\nEach DFS step in the schedule (a 'D') marks a lost memory "
+          "level and costs a\nfactor b/a = 7/4 in bandwidth — the "
+          "signature of Theorem 1's memory-bound term.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the legacy editable install when a setup.py is present
+and no [build-system] table is declared).
+"""
+
+from setuptools import setup
+
+setup()

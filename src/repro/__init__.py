@@ -1,0 +1,129 @@
+"""repro: a reproduction of *Matrix Multiplication I/O-Complexity by Path
+Routing* (Scott, Holtz, Schwartz; SPAA 2015).
+
+The library builds, from scratch, everything the paper reasons about:
+
+- bilinear (Strassen-like) matrix-multiplication algorithms
+  (:mod:`repro.bilinear`),
+- their recursive computation DAGs with meta-vertices and the Fact-1
+  decomposition (:mod:`repro.cdag`),
+- the red-blue pebble-game / two-level cache model and schedule executors
+  (:mod:`repro.pebbling`, :mod:`repro.schedules`),
+- the paper's path-routing construction — guaranteed dependencies, Hall
+  matchings, Lemmas 3-6, Claims 1-2, Theorem 2 (:mod:`repro.routing`),
+- the I/O and bandwidth lower/upper bound formulas of Theorem 1 plus
+  baselines (:mod:`repro.bounds`),
+- a P-processor bandwidth-cost simulator (:mod:`repro.parallel`),
+- numeric kernels and a trace-driven cache simulator
+  (:mod:`repro.linalg`, :mod:`repro.tracesim`),
+- the experiment harness regenerating every quantitative statement
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    import repro
+
+    alg = repro.strassen()
+    g = repro.build_cdag(alg, r=3)                   # CDAG for 8x8 inputs
+    sched = repro.recursive_schedule(g)
+    io = repro.simulate_io(g, sched, cache_size=32)  # pebble-game I/O count
+    lb = repro.io_lower_bound(alg, n=8, M=32)        # Theorem 1
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    AlgorithmError,
+    BrentEquationError,
+    CDAGError,
+    ScheduleError,
+    PebbleGameError,
+    CacheError,
+    RoutingError,
+    HallConditionError,
+    BoundError,
+    PartitionError,
+)
+from repro.bilinear import (
+    BilinearAlgorithm,
+    strassen,
+    winograd,
+    classical,
+    laderman,
+    strassen_x_classical,
+    strassen_squared,
+    tensor_product,
+    list_catalog,
+    by_name,
+)
+from repro.cdag import CDAG, build_cdag, build_base_graph
+from repro.pebbling import simulate_io, CacheExecutor, SegmentAnalysis
+from repro.schedules import (
+    recursive_schedule,
+    rank_order_schedule,
+    random_topological_schedule,
+)
+from repro.routing import (
+    theorem2_routing,
+    claim1_routing,
+    verify_routing,
+    guaranteed_dependencies,
+)
+from repro.bounds import (
+    io_lower_bound,
+    io_lower_bound_paper_constants,
+    parallel_bandwidth_lower_bound,
+    memory_independent_lower_bound,
+    classical_io_lower_bound,
+    recursive_io_upper_bound,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "AlgorithmError",
+    "BrentEquationError",
+    "CDAGError",
+    "ScheduleError",
+    "PebbleGameError",
+    "CacheError",
+    "RoutingError",
+    "HallConditionError",
+    "BoundError",
+    "PartitionError",
+    # bilinear
+    "BilinearAlgorithm",
+    "strassen",
+    "winograd",
+    "classical",
+    "laderman",
+    "strassen_x_classical",
+    "strassen_squared",
+    "tensor_product",
+    "list_catalog",
+    "by_name",
+    # cdag
+    "CDAG",
+    "build_cdag",
+    "build_base_graph",
+    # pebbling / schedules
+    "simulate_io",
+    "CacheExecutor",
+    "SegmentAnalysis",
+    "recursive_schedule",
+    "rank_order_schedule",
+    "random_topological_schedule",
+    # routing
+    "theorem2_routing",
+    "claim1_routing",
+    "verify_routing",
+    "guaranteed_dependencies",
+    # bounds
+    "io_lower_bound",
+    "io_lower_bound_paper_constants",
+    "parallel_bandwidth_lower_bound",
+    "memory_independent_lower_bound",
+    "classical_io_lower_bound",
+    "recursive_io_upper_bound",
+]

@@ -1,0 +1,65 @@
+"""Bilinear matrix-multiplication algorithms: representation, catalog,
+compositions, and correctness machinery.
+
+Entry points:
+
+- :class:`BilinearAlgorithm` — the ``<U, V, W>`` triple with Brent-equation
+  validation and the structural predicates the paper's assumptions refer to;
+- :mod:`repro.bilinear.catalog` — Strassen, Winograd, classical, Laderman;
+- :mod:`repro.bilinear.compose` — tensor products and tensor symmetries
+  (including the fast disconnected-decoder example Strassen ⊗ classical);
+- :mod:`repro.bilinear.synthetic` — assumption-violating fixtures;
+- :mod:`repro.bilinear.winograd_bound` — Lemma 6 in checkable form.
+"""
+
+from repro.bilinear.algorithm import (
+    BilinearAlgorithm,
+    matmul_tensor,
+    solve_decoder,
+)
+from repro.bilinear.catalog import (
+    strassen,
+    winograd,
+    classical,
+    laderman,
+    strassen_peeled,
+    list_catalog,
+    by_name,
+)
+from repro.bilinear.compose import (
+    tensor_product,
+    tensor_power,
+    cyclic_rotation,
+    transpose_dual,
+    strassen_x_classical,
+    strassen_x_classical_su,
+    strassen_squared,
+    sandwich_transform,
+    random_equivalent,
+)
+from repro.bilinear.verify import numeric_check, algorithm_stats, AlgorithmStats
+
+__all__ = [
+    "BilinearAlgorithm",
+    "matmul_tensor",
+    "solve_decoder",
+    "strassen",
+    "winograd",
+    "classical",
+    "laderman",
+    "strassen_peeled",
+    "list_catalog",
+    "by_name",
+    "tensor_product",
+    "tensor_power",
+    "cyclic_rotation",
+    "transpose_dual",
+    "strassen_x_classical",
+    "strassen_x_classical_su",
+    "strassen_squared",
+    "sandwich_transform",
+    "random_equivalent",
+    "numeric_check",
+    "algorithm_stats",
+    "AlgorithmStats",
+]

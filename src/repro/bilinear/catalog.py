@@ -1,0 +1,390 @@
+"""Catalog of concrete bilinear matrix-multiplication algorithms.
+
+Every constructor returns a validated :class:`BilinearAlgorithm` (the
+Brent equations are checked at build time, so a corrupted coefficient
+table cannot silently propagate into experiments).
+
+The catalog covers the regimes the paper distinguishes:
+
+- :func:`strassen` / :func:`winograd`: fast 2x2 algorithms with connected
+  encoders/decoders — the case already handled by [6];
+- :func:`classical`: the Θ(n^3) algorithm (disconnected encoders *and*
+  decoders, multiple copying; not Strassen-like — baseline for
+  Hong–Kung);
+- :func:`laderman`: fast 3x3 algorithm with 23 multiplications
+  (ω0 ≈ 2.854), exercising a base dimension n0 > 2;
+- compositions built in :mod:`repro.bilinear.compose`
+  (e.g. Strassen ⊗ classical: a *fast* algorithm with a disconnected
+  decoding graph and multiple copying — precisely the case where the
+  edge-expansion technique of [6] fails and this paper's routing
+  technique is needed).
+
+Coefficient conventions match :mod:`repro.bilinear.algorithm`: entry
+``(i, j)`` of an ``n0 x n0`` matrix has flat index ``i * n0 + j``
+(0-based).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bilinear.algorithm import BilinearAlgorithm, solve_decoder
+from repro.utils.indexing import pair_index
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "strassen",
+    "winograd",
+    "classical",
+    "laderman",
+    "strassen_peeled",
+    "list_catalog",
+    "by_name",
+]
+
+
+def _combo(n0: int, terms: dict[tuple[int, int], float]) -> np.ndarray:
+    """Row vector for a linear combination given as {(i, j): coeff},
+    1-based indices as written in the literature."""
+    row = np.zeros(n0 * n0)
+    for (i, j), coeff in terms.items():
+        row[pair_index(i - 1, j - 1, n0)] = coeff
+    return row
+
+
+@lru_cache(maxsize=None)
+def strassen() -> BilinearAlgorithm:
+    """Strassen's original 7-multiplication algorithm for 2x2 matrices.
+
+    M1 = (A11+A22)(B11+B22),  M2 = (A21+A22)B11,  M3 = A11(B12-B22),
+    M4 = A22(B21-B11),        M5 = (A11+A12)B22,  M6 = (A21-A11)(B11+B12),
+    M7 = (A12-A22)(B21+B22);
+    C11 = M1+M4-M5+M7, C12 = M3+M5, C21 = M2+M4, C22 = M1-M2+M3+M6.
+    """
+    n0 = 2
+    U = np.array(
+        [
+            _combo(n0, {(1, 1): 1, (2, 2): 1}),
+            _combo(n0, {(2, 1): 1, (2, 2): 1}),
+            _combo(n0, {(1, 1): 1}),
+            _combo(n0, {(2, 2): 1}),
+            _combo(n0, {(1, 1): 1, (1, 2): 1}),
+            _combo(n0, {(2, 1): 1, (1, 1): -1}),
+            _combo(n0, {(1, 2): 1, (2, 2): -1}),
+        ]
+    )
+    V = np.array(
+        [
+            _combo(n0, {(1, 1): 1, (2, 2): 1}),
+            _combo(n0, {(1, 1): 1}),
+            _combo(n0, {(1, 2): 1, (2, 2): -1}),
+            _combo(n0, {(2, 1): 1, (1, 1): -1}),
+            _combo(n0, {(2, 2): 1}),
+            _combo(n0, {(1, 1): 1, (1, 2): 1}),
+            _combo(n0, {(2, 1): 1, (2, 2): 1}),
+        ]
+    )
+    # Rows of W indexed by output entry (1,1), (1,2), (2,1), (2,2).
+    W = np.array(
+        [
+            [1, 0, 0, 1, -1, 0, 1],
+            [0, 0, 1, 0, 1, 0, 0],
+            [0, 1, 0, 1, 0, 0, 0],
+            [1, -1, 1, 0, 0, 1, 0],
+        ],
+        dtype=float,
+    )
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U,
+        V=V,
+        W=W,
+        name="strassen",
+        notes="Strassen 1969; the algorithm analysed in Section 5 of the paper.",
+    ).validate()
+
+
+@lru_cache(maxsize=None)
+def winograd() -> BilinearAlgorithm:
+    """The Strassen–Winograd 7-multiplication variant.
+
+    In straight-line form (with reuse of intermediate sums) this variant
+    needs only 15 additions; the flat bilinear form below cannot express
+    reuse, so its support counts 24 additions.
+
+    Same exponent as Strassen (log2 7) but a different base graph —
+    different encoder/decoder supports, hence different routing instances.
+    Products (expanded to bilinear form):
+
+    M1 = A11 B11,                M2 = A12 B21,
+    M3 = (A11+A12-A21-A22) B22,  M4 = A22 (B11-B12+B22-B21),
+    M5 = (A21+A22)(B12-B11),     M6 = (A21+A22-A11)(B11-B12+B22),
+    M7 = (A11-A21)(B22-B12);
+    C11 = M1+M2, C12 = M1+M3+M5+M6, C21 = M1-M4+M6+M7, C22 = M1+M5+M6+M7.
+    """
+    n0 = 2
+    U = np.array(
+        [
+            _combo(n0, {(1, 1): 1}),
+            _combo(n0, {(1, 2): 1}),
+            _combo(n0, {(1, 1): 1, (1, 2): 1, (2, 1): -1, (2, 2): -1}),
+            _combo(n0, {(2, 2): 1}),
+            _combo(n0, {(2, 1): 1, (2, 2): 1}),
+            _combo(n0, {(2, 1): 1, (2, 2): 1, (1, 1): -1}),
+            _combo(n0, {(1, 1): 1, (2, 1): -1}),
+        ]
+    )
+    V = np.array(
+        [
+            _combo(n0, {(1, 1): 1}),
+            _combo(n0, {(2, 1): 1}),
+            _combo(n0, {(2, 2): 1}),
+            _combo(n0, {(1, 1): 1, (1, 2): -1, (2, 2): 1, (2, 1): -1}),
+            _combo(n0, {(1, 2): 1, (1, 1): -1}),
+            _combo(n0, {(1, 1): 1, (1, 2): -1, (2, 2): 1}),
+            _combo(n0, {(2, 2): 1, (1, 2): -1}),
+        ]
+    )
+    W = np.array(
+        [
+            [1, 1, 0, 0, 0, 0, 0],
+            [1, 0, 1, 0, 1, 1, 0],
+            [1, 0, 0, -1, 0, 1, 1],
+            [1, 0, 0, 0, 1, 1, 1],
+        ],
+        dtype=float,
+    )
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U,
+        V=V,
+        W=W,
+        name="winograd",
+        notes="Strassen-Winograd variant: 7 multiplications (15 additions with reuse).",
+    ).validate()
+
+
+@lru_cache(maxsize=None)
+def classical(n0: int = 2) -> BilinearAlgorithm:
+    """The classical Θ(n0^3) algorithm as a bilinear algorithm.
+
+    One multiplication per triple ``(i, j, k)``: ``a_{ij} * b_{jk}``
+    contributing to ``c_{ik}``.  Not Strassen-like (ω0 = 3); its encoders
+    and decoder are maximally disconnected (every component is a star)
+    and every input exhibits multiple copying — useful both as the
+    Hong–Kung baseline (experiment E10) and as a composition factor that
+    injects disconnectedness into fast algorithms.
+    """
+    n0 = check_positive_int(n0, "n0")
+    a = n0 * n0
+    b = n0 ** 3
+    U = np.zeros((b, a))
+    V = np.zeros((b, a))
+    W = np.zeros((a, b))
+    m = 0
+    for i in range(n0):
+        for j in range(n0):
+            for k in range(n0):
+                U[m, pair_index(i, j, n0)] = 1
+                V[m, pair_index(j, k, n0)] = 1
+                W[pair_index(i, k, n0), m] = 1
+                m += 1
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U,
+        V=V,
+        W=W,
+        name=f"classical-{n0}",
+        notes="Definition of matrix multiplication; omega0 = 3.",
+    ).validate()
+
+
+@lru_cache(maxsize=None)
+def laderman() -> BilinearAlgorithm:
+    """Laderman's 23-multiplication algorithm for 3x3 matrices.
+
+    ω0 = log_3 23 ≈ 2.854.  The decoder is recovered exactly from the
+    products via :func:`repro.bilinear.algorithm.solve_decoder` (the Brent
+    equations are linear in W once U and V are fixed), which doubles as a
+    correctness certificate for the product list.
+
+    Provenance note: the products follow Laderman (1976); two of the
+    six-term rows were reconstructed by solving the Brent equations
+    against the remaining 21 products (the solved system is exact and
+    all-integer, and the resulting decoder matches Laderman's published
+    output sums, e.g. ``c11 = m6 + m14 + m19``), so individual product
+    rows may differ from the 1976 listing by a symmetry of the algorithm.
+    """
+    n0 = 3
+    products = _laderman_products()
+    U = np.array([_combo(n0, ua) for ua, _ in products])
+    V = np.array([_combo(n0, vb) for _, vb in products])
+    W = solve_decoder(n0, U, V)
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U,
+        V=V,
+        W=W,
+        name="laderman",
+        notes="Laderman 1976, 23 multiplications for 3x3.",
+    ).validate()
+
+
+def _laderman_products():
+    """The 23 products of Laderman's algorithm, 1-based literature
+    indexing: list of (A-side combo, B-side combo) dictionaries."""
+    return [
+        # m1
+        (
+            {(1, 1): 1, (1, 2): 1, (1, 3): 1, (2, 1): -1, (2, 2): -1,
+             (3, 2): -1, (3, 3): -1},
+            {(2, 2): 1},
+        ),
+        # m2
+        ({(1, 1): 1, (2, 1): -1}, {(1, 2): -1, (2, 2): 1}),
+        # m3
+        (
+            {(2, 2): 1},
+            {(1, 1): -1, (1, 2): 1, (2, 1): 1, (2, 2): -1, (2, 3): -1,
+             (3, 1): -1, (3, 3): 1},
+        ),
+        # m4
+        ({(1, 1): -1, (2, 1): 1, (2, 2): 1}, {(1, 1): 1, (1, 2): -1, (2, 2): 1}),
+        # m5
+        ({(2, 1): 1, (2, 2): 1}, {(1, 1): -1, (1, 2): 1}),
+        # m6
+        ({(1, 1): 1}, {(1, 1): 1}),
+        # m7
+        ({(1, 1): -1, (3, 1): 1, (3, 2): 1}, {(1, 1): 1, (1, 3): -1, (2, 3): 1}),
+        # m8
+        ({(1, 1): -1, (3, 1): 1}, {(1, 3): 1, (2, 3): -1}),
+        # m9
+        ({(3, 1): 1, (3, 2): 1}, {(1, 1): -1, (1, 3): 1}),
+        # m10
+        (
+            {(1, 1): 1, (1, 2): 1, (1, 3): 1, (2, 2): -1, (2, 3): -1,
+             (3, 1): -1, (3, 2): -1},
+            {(2, 3): 1},
+        ),
+        # m11
+        (
+            {(3, 2): 1},
+            {(1, 1): -1, (1, 3): 1, (2, 1): 1, (2, 2): -1, (2, 3): -1,
+             (3, 1): -1, (3, 2): 1},
+        ),
+        # m12
+        ({(1, 3): -1, (3, 2): 1, (3, 3): 1}, {(2, 2): 1, (3, 1): 1, (3, 2): -1}),
+        # m13
+        ({(1, 3): 1, (3, 3): -1}, {(2, 2): 1, (3, 2): -1}),
+        # m14
+        ({(1, 3): 1}, {(3, 1): 1}),
+        # m15
+        ({(3, 2): 1, (3, 3): 1}, {(3, 1): -1, (3, 2): 1}),
+        # m16
+        ({(1, 3): -1, (2, 2): 1, (2, 3): 1}, {(2, 3): 1, (3, 1): 1, (3, 3): -1}),
+        # m17
+        ({(1, 3): 1, (2, 3): -1}, {(2, 3): 1, (3, 3): -1}),
+        # m18
+        ({(2, 2): 1, (2, 3): 1}, {(3, 1): -1, (3, 3): 1}),
+        # m19
+        ({(1, 2): 1}, {(2, 1): 1}),
+        # m20
+        ({(2, 3): 1}, {(3, 2): 1}),
+        # m21
+        ({(2, 1): 1}, {(1, 3): 1}),
+        # m22
+        ({(3, 1): 1}, {(1, 2): 1}),
+        # m23
+        ({(3, 3): 1}, {(3, 3): 1}),
+    ]
+
+
+@lru_cache(maxsize=None)
+def strassen_peeled() -> BilinearAlgorithm:
+    """Peeled Strassen for 3x3: 26 multiplications, ω0 = log_3 26 ≈ 2.966.
+
+    The classical "padding-free" construction: split the 3x3 matrices as
+    a 2x2 block ``P``, a column ``u``, a row ``v`` and a scalar ``s``;
+    use Strassen's 7 products for ``P·Q`` and classical products for the
+    rank-1 / matrix-vector pieces:
+
+        C[0:2,0:2] = P·Q + u⊗x        (7 + 4 products)
+        C[0:2, 2 ] = P·w + u·t        (4 + 2)
+        C[ 2 ,0:2] = v·Q + s·x        (4 + 2)
+        C[ 2 , 2 ] = v·w + s·t        (2 + 1)
+
+    A genuinely *fast* (ω0 < 3) 3x3 base whose encoders and decoder are
+    highly non-uniform — 7 Strassen-style nontrivial products next to 19
+    trivial ones — stressing the routing and bound machinery away from
+    the uniform catalog entries.  The decoder is recovered exactly via
+    :func:`~repro.bilinear.algorithm.solve_decoder`.
+    """
+    n0 = 3
+    strassen_u = [
+        {(1, 1): 1, (2, 2): 1}, {(2, 1): 1, (2, 2): 1}, {(1, 1): 1},
+        {(2, 2): 1}, {(1, 1): 1, (1, 2): 1}, {(2, 1): 1, (1, 1): -1},
+        {(1, 2): 1, (2, 2): -1},
+    ]
+    strassen_v = [
+        {(1, 1): 1, (2, 2): 1}, {(1, 1): 1}, {(1, 2): 1, (2, 2): -1},
+        {(2, 1): 1, (1, 1): -1}, {(2, 2): 1}, {(1, 1): 1, (1, 2): 1},
+        {(2, 1): 1, (2, 2): 1},
+    ]
+    products: list[tuple[dict, dict]] = list(zip(strassen_u, strassen_v))
+    # u ⊗ x: a_{i,3} * b_{3,k}
+    for i in (1, 2):
+        for k in (1, 2):
+            products.append(({(i, 3): 1}, {(3, k): 1}))
+    # P·w: a_{i,j} * b_{j,3}
+    for i in (1, 2):
+        for j in (1, 2):
+            products.append(({(i, j): 1}, {(j, 3): 1}))
+    # u·t: a_{i,3} * b_{3,3}
+    for i in (1, 2):
+        products.append(({(i, 3): 1}, {(3, 3): 1}))
+    # v·Q: a_{3,j} * b_{j,k}
+    for j in (1, 2):
+        for k in (1, 2):
+            products.append(({(3, j): 1}, {(j, k): 1}))
+    # s·x: a_{3,3} * b_{3,k}
+    for k in (1, 2):
+        products.append(({(3, 3): 1}, {(3, k): 1}))
+    # v·w: a_{3,j} * b_{j,3}
+    for j in (1, 2):
+        products.append(({(3, j): 1}, {(j, 3): 1}))
+    # s·t
+    products.append(({(3, 3): 1}, {(3, 3): 1}))
+
+    U = np.array([_combo(n0, ua) for ua, _ in products])
+    V = np.array([_combo(n0, vb) for _, vb in products])
+    W = solve_decoder(n0, U, V)
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U,
+        V=V,
+        W=W,
+        name="strassen-peeled-3",
+        notes="Strassen on the 2x2 block + classical peeling; 26 products.",
+    ).validate()
+
+
+def list_catalog() -> list[BilinearAlgorithm]:
+    """All base algorithms in the catalog (compositions live in
+    :mod:`repro.bilinear.compose` and are built on demand)."""
+    return [strassen(), winograd(), classical(2), classical(3), laderman(),
+            strassen_peeled()]
+
+
+def by_name(name: str) -> BilinearAlgorithm:
+    """Look up a catalog algorithm by its :attr:`name`."""
+    for alg in list_catalog():
+        if alg.name == name:
+            return alg
+    from repro.bilinear.compose import named_compositions
+
+    for alg in named_compositions():
+        if alg.name == name:
+            return alg
+    raise KeyError(f"no catalog algorithm named {name!r}")

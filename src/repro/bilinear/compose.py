@@ -1,0 +1,308 @@
+"""Compositions and symmetries of bilinear algorithms.
+
+Two constructions matter for the paper's scope:
+
+- :func:`tensor_product`: if ``alg1`` multiplies ``n1 x n1`` matrices with
+  ``b1`` products and ``alg2`` multiplies ``n2 x n2`` with ``b2``, their
+  tensor product multiplies ``(n1*n2) x (n1*n2)`` matrices with ``b1*b2``
+  products.  Tensoring a fast algorithm with the classical one yields a
+  *fast* Strassen-like algorithm whose decoding graph is **disconnected**
+  and whose encoders exhibit **multiple copying** — exactly the base
+  graphs out of reach for the edge-expansion technique of [6] and in
+  scope for this paper's path-routing technique (experiments E1, E12).
+
+- :func:`cyclic_rotation` / :func:`transpose_dual`: the symmetries of the
+  matrix-multiplication tensor.  They produce algorithms with the same
+  parameters (a, b, ω0) but different base-graph supports, giving the
+  routing machinery structurally distinct instances for free.
+
+All constructors validate their output against the Brent equations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.utils.indexing import pair_index, pair_unindex
+
+__all__ = [
+    "tensor_product",
+    "tensor_power",
+    "cyclic_rotation",
+    "transpose_dual",
+    "strassen_x_classical",
+    "strassen_x_classical_su",
+    "strassen_squared",
+    "sandwich_transform",
+    "random_equivalent",
+    "named_compositions",
+]
+
+
+def _entry_merge_permutation(n1: int, n2: int) -> np.ndarray:
+    """Permutation taking the Kronecker entry index ``e1 * a2 + e2`` to the
+    flat entry index of the merged ``(n1*n2)``-dimensional matrix.
+
+    Entry ``e1 = (r1, c1)`` of the coarse matrix and ``e2 = (r2, c2)`` of
+    the fine block correspond to global entry
+    ``(r1*n2 + r2, c1*n2 + c2)``.
+    """
+    a1, a2 = n1 * n1, n2 * n2
+    perm = np.empty(a1 * a2, dtype=np.int64)
+    for e1 in range(a1):
+        r1, c1 = pair_unindex(e1, n1)
+        for e2 in range(a2):
+            r2, c2 = pair_unindex(e2, n2)
+            merged = pair_index(r1 * n2 + r2, c1 * n2 + c2, n1 * n2)
+            perm[e1 * a2 + e2] = merged
+    return perm
+
+
+def tensor_product(
+    alg1: BilinearAlgorithm,
+    alg2: BilinearAlgorithm,
+    name: str | None = None,
+) -> BilinearAlgorithm:
+    """Tensor (Kronecker) product of two bilinear algorithms.
+
+    The result multiplies ``(n1*n2) x (n1*n2)`` matrices using
+    ``b1 * b2`` products: one level of ``alg1``'s recursion with ``alg2``
+    used for the block products.  Its exponent satisfies
+    ``(n1*n2)^ω = b1*b2``, i.e. a weighted mix of the factors' exponents.
+    """
+    n1, n2 = alg1.n0, alg2.n0
+    n0 = n1 * n2
+    perm = _entry_merge_permutation(n1, n2)
+
+    def merge_encoder(E1: np.ndarray, E2: np.ndarray) -> np.ndarray:
+        kron = np.kron(E1, E2)  # shape (b1*b2, a1*a2), cols in (e1, e2) order
+        out = np.zeros_like(kron)
+        out[:, perm] = kron
+        return out
+
+    U = merge_encoder(alg1.U, alg2.U)
+    V = merge_encoder(alg1.V, alg2.V)
+    kron_w = np.kron(alg1.W, alg2.W)  # shape (a1*a2, b1*b2)
+    W = np.zeros_like(kron_w)
+    W[perm, :] = kron_w
+    composed = BilinearAlgorithm(
+        n0=n0,
+        U=U,
+        V=V,
+        W=W,
+        name=name or f"{alg1.name}(x){alg2.name}",
+        notes=(
+            f"Tensor product of {alg1.name} (n0={n1}, b={alg1.b}) and "
+            f"{alg2.name} (n0={n2}, b={alg2.b})."
+        ),
+    )
+    return composed.validate()
+
+
+def tensor_power(alg: BilinearAlgorithm, k: int, name: str | None = None) -> BilinearAlgorithm:
+    """``k``-fold tensor power (``k >= 1``): one algorithm whose base case
+    is ``k`` unrolled recursion levels of ``alg``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    out = alg
+    for _ in range(k - 1):
+        out = tensor_product(out, alg)
+    return BilinearAlgorithm(
+        n0=out.n0,
+        U=out.U,
+        V=out.V,
+        W=out.W,
+        name=name or f"{alg.name}^({k})",
+        notes=f"{k}-fold tensor power of {alg.name}.",
+    )
+
+
+def cyclic_rotation(alg: BilinearAlgorithm, name: str | None = None) -> BilinearAlgorithm:
+    """Rotate the roles (A, B, C) -> (B, C, A) using the cyclic symmetry
+    of the matrix-multiplication tensor.
+
+    If ``<U, V, W>`` computes ``C = A B`` then
+    ``U'[m, (x,y)] = V[m, (x,y)]``, ``V'[m, (x,y)] = W[(y,x), m]``,
+    ``W'[(x,y), m] = U[m, (y,x)]`` computes matrix multiplication again
+    (with transpositions absorbing the index flips).  Produces a valid
+    algorithm with the same (a, b) but different supports.
+    """
+    n0 = alg.n0
+    a = alg.a
+    transpose = np.array(
+        [pair_index(c, r, n0) for e in range(a) for r, c in [pair_unindex(e, n0)]]
+    )
+    U2 = alg.V.copy()
+    V2 = alg.W.T[:, transpose]
+    W2 = alg.U[:, transpose].T
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U2,
+        V=V2,
+        W=W2,
+        name=name or f"{alg.name}-rot",
+        notes=f"Cyclic (A,B,C) rotation of {alg.name}.",
+    ).validate()
+
+
+def transpose_dual(alg: BilinearAlgorithm, name: str | None = None) -> BilinearAlgorithm:
+    """The dual algorithm from ``C^T = B^T A^T``.
+
+    ``U'[m, (i,j)] = V[m, (j,i)]``, ``V'[m, (i,j)] = U[m, (j,i)]``,
+    ``W'[(i,j), m] = W[(j,i), m]``.
+    """
+    n0 = alg.n0
+    a = alg.a
+    transpose = np.array(
+        [pair_index(c, r, n0) for e in range(a) for r, c in [pair_unindex(e, n0)]]
+    )
+    return BilinearAlgorithm(
+        n0=n0,
+        U=alg.V[:, transpose],
+        V=alg.U[:, transpose],
+        W=alg.W[transpose, :],
+        name=name or f"{alg.name}-dual",
+        notes=f"Transpose dual of {alg.name}.",
+    ).validate()
+
+
+@lru_cache(maxsize=None)
+def strassen_x_classical() -> BilinearAlgorithm:
+    """Strassen ⊗ classical(2): a 4x4 base with 56 products.
+
+    ω0 = log_4 56 ≈ 2.904 < 3, so this *is* a fast Strassen-like
+    algorithm — yet its decoding graph is disconnected (the classical
+    factor's decoder is a disjoint union of stars) and its encoders
+    perform multiple copying.  It is the library's canonical example of a
+    base graph where the technique of [6] does not apply but the paper's
+    Theorem 1 does.
+    """
+    from repro.bilinear.catalog import classical, strassen
+
+    return tensor_product(
+        strassen(), classical(2), name="strassen(x)classical-2"
+    )
+
+
+@lru_cache(maxsize=None)
+def strassen_squared() -> BilinearAlgorithm:
+    """Strassen ⊗ Strassen: a 4x4 base with 49 products, same exponent
+    log2 7.  Used to check that bounds and routings agree across different
+    base-graph granularities of the *same* algorithm."""
+    from repro.bilinear.catalog import strassen
+
+    return tensor_power(strassen(), 2, name="strassen^2")
+
+
+@lru_cache(maxsize=None)
+def strassen_x_classical_su() -> BilinearAlgorithm:
+    """``strassen (x) classical`` with duplicate nontrivial rows rescaled
+    to distinct values (:func:`repro.bilinear.synthetic.make_single_use`).
+
+    The raw tensor product violates the paper's single-use assumption
+    (the classical factor repeats each combination across its ``k``
+    loop); this variant restores the assumption while preserving every
+    support — so it is a *fast*, paper-compliant algorithm whose decoder
+    is disconnected: the exact case Theorem 1 newly covers (experiment
+    E12's headline).
+    """
+    from repro.bilinear.synthetic import make_single_use
+
+    return make_single_use(strassen_x_classical())
+
+
+def sandwich_transform(
+    alg: BilinearAlgorithm,
+    X: np.ndarray,
+    Y: np.ndarray,
+    Z: np.ndarray,
+    name: str | None = None,
+) -> BilinearAlgorithm:
+    """De Groote sandwiching: a new algorithm from invertible X, Y, Z.
+
+    If ``<U, V, W>`` computes ``C = A B``, then substituting
+    ``A = X^-1 A' Y^-1``, ``B = Y B' Z^-1`` and reading off
+    ``C' = X C Z`` yields an algorithm for ``C' = A' B'`` — the classical
+    symmetry group of the matrix-multiplication tensor (de Groote 1978;
+    for 2x2 every 7-multiplication algorithm arises from Strassen's this
+    way).  In row-major vec coordinates:
+
+        U' = U (X^-1 ⊗ Y^-T),  V' = V (Y ⊗ Z^-T)... — see the code for
+        the exact Kronecker orientation; the result is Brent-validated.
+
+    The transformed coefficients are generally dense and non-integral:
+    ideal stress inputs for everything downstream that must depend only
+    on supports (routing, Hall matching) or must be coefficient-exact
+    (evaluation).
+    """
+    n0 = alg.n0
+    for mat, label in ((X, "X"), (Y, "Y"), (Z, "Z")):
+        mat = np.asarray(mat, dtype=np.float64)
+        if mat.shape != (n0, n0):
+            raise ValueError(f"{label} must be {n0}x{n0}")
+        if abs(np.linalg.det(mat)) < 1e-12:
+            raise ValueError(f"{label} must be invertible")
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    Z = np.asarray(Z, dtype=np.float64)
+    Xi, Yi, Zi = (np.linalg.inv(M) for M in (X, Y, Z))
+    # Row-major vec identity: vec(P Q R) = (P ⊗ R^T) vec(Q).
+    # A = Xi A' Yi  => vec(A) = (Xi ⊗ Yi^T) vec(A').
+    U2 = alg.U @ np.kron(Xi, Yi.T)
+    # B = Y B' Zi   => vec(B) = (Y ⊗ Zi^T) vec(B').
+    V2 = alg.V @ np.kron(Y, Zi.T)
+    # C' = X C Z    => vec(C') = (X ⊗ Z^T) vec(C).
+    W2 = np.kron(X, Z.T) @ alg.W
+    return BilinearAlgorithm(
+        n0=n0,
+        U=U2,
+        V=V2,
+        W=W2,
+        name=name or f"{alg.name}~sandwich",
+        notes=f"De Groote sandwich transform of {alg.name}.",
+    ).validate()
+
+
+def random_equivalent(
+    alg: BilinearAlgorithm, seed=None, integer: bool = True
+) -> BilinearAlgorithm:
+    """A random member of ``alg``'s de Groote equivalence class.
+
+    ``integer=True`` draws X, Y, Z as random unimodular integer matrices
+    (products of elementary row operations), keeping coefficients exact;
+    otherwise well-conditioned random real matrices are used.
+    """
+    from repro.utils.rngs import make_rng
+
+    rng = make_rng(seed)
+    n0 = alg.n0
+
+    def unimodular() -> np.ndarray:
+        M = np.eye(n0)
+        for _ in range(4):
+            i, j = rng.integers(0, n0, size=2)
+            if i != j:
+                E = np.eye(n0)
+                E[i, j] = float(rng.integers(-2, 3))
+                M = M @ E
+        return M
+
+    def well_conditioned() -> np.ndarray:
+        while True:
+            M = rng.standard_normal((n0, n0))
+            if np.linalg.cond(M) < 50:
+                return M
+
+    draw = unimodular if integer else well_conditioned
+    return sandwich_transform(
+        alg, draw(), draw(), draw(),
+        name=f"{alg.name}~rand",
+    )
+
+
+def named_compositions() -> list[BilinearAlgorithm]:
+    """Compositions addressable through :func:`repro.bilinear.by_name`."""
+    return [strassen_x_classical(), strassen_squared(), strassen_x_classical_su()]

@@ -1,0 +1,151 @@
+"""Synthetic algorithm variants for exercising edge cases and assumptions.
+
+These constructors deliberately produce algorithms at the boundary of the
+paper's hypotheses:
+
+- :func:`with_duplicate_product` **violates** the single-use assumption
+  (two identical nontrivial linear combinations feed different
+  multiplications) while remaining a correct matrix-multiplication
+  algorithm — used to test that the assumption checkers fire and that the
+  routing pipeline refuses/flags such inputs rather than silently
+  producing invalid certificates.
+- :func:`with_split_output` rescales and splits a product so a decoder
+  row has fractional coefficients — checks that nothing in the pipeline
+  assumes ±1 coefficients.
+- :func:`broken_algorithm` corrupts one coefficient — a *negative
+  control* that must fail Brent validation (and, downstream, the Hall
+  condition machinery of Lemma 5 when validation is bypassed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+
+__all__ = [
+    "with_duplicate_product",
+    "with_split_output",
+    "broken_algorithm",
+    "make_single_use",
+]
+
+
+def with_duplicate_product(
+    alg: BilinearAlgorithm, product: int = 0
+) -> BilinearAlgorithm:
+    """Split product ``m`` into two identical multiplications with halved
+    decoder coefficients.
+
+    The result computes the same function with ``b + 1`` products, but the
+    (identical, nontrivial when ``alg``'s row is) linear combination of
+    row ``m`` now feeds two multiplications — violating the paper's
+    single-use assumption.  Used as the canonical
+    ``satisfies_single_use() == False`` fixture.
+    """
+    if not 0 <= product < alg.b:
+        raise ValueError(f"product index {product} out of range")
+    U = np.vstack([alg.U, alg.U[product : product + 1]])
+    V = np.vstack([alg.V, alg.V[product : product + 1]])
+    W = np.hstack([alg.W, alg.W[:, product : product + 1]])
+    W = W.copy()
+    W[:, product] *= 0.5
+    W[:, -1] *= 0.5
+    return BilinearAlgorithm(
+        n0=alg.n0,
+        U=U,
+        V=V,
+        W=W,
+        name=f"{alg.name}+dup{product}",
+        notes=f"{alg.name} with product {product} duplicated (single-use violated).",
+    ).validate()
+
+
+def with_split_output(
+    alg: BilinearAlgorithm, product: int = 0, scale: float = 2.0
+) -> BilinearAlgorithm:
+    """Rescale product ``m`` by ``scale`` on the A side and ``1/scale`` in
+    the decoder.  Function is unchanged; coefficients are no longer ±1.
+    Checks the pipeline is coefficient-agnostic (only supports matter)."""
+    if scale == 0:
+        raise ValueError("scale must be nonzero")
+    U = alg.U.copy()
+    W = alg.W.copy()
+    U[product] *= scale
+    W[:, product] /= scale
+    return BilinearAlgorithm(
+        n0=alg.n0,
+        U=U,
+        V=alg.V,
+        W=W,
+        name=f"{alg.name}+scaled{product}",
+        notes=f"{alg.name} with product {product} rescaled by {scale}.",
+    ).validate()
+
+
+def make_single_use(alg: BilinearAlgorithm, max_rounds: int = 10) -> BilinearAlgorithm:
+    """Rescale duplicate nontrivial encoder rows so the algorithm
+    satisfies the paper's single-use assumption.
+
+    Tensoring with the classical algorithm produces base graphs where the
+    *same nontrivial linear combination* feeds several multiplications
+    (e.g. ``strassen (x) classical``), violating the assumption even
+    though the function computed is fine.  Scaling the later duplicates
+    by distinct constants (and compensating in the decoder) makes the
+    combination *values* distinct without touching any support — so
+    decoder disconnectedness and multiple copying survive, and the result
+    is a paper-compliant fast algorithm with a disconnected decoding
+    graph (the E12 headline example).
+    """
+    U = alg.U.copy()
+    V = alg.V.copy()
+    W = alg.W.copy()
+    for _ in range(max_rounds):
+        changed = False
+        for E in (U, V):
+            nontrivial = np.count_nonzero(E, axis=1) > 1
+            seen: dict[tuple, int] = {}
+            for m in range(E.shape[0]):
+                if not nontrivial[m]:
+                    continue
+                key = tuple(E[m])
+                count = seen.get(key, 0)
+                seen[key] = count + 1
+                if count:
+                    scale = float(count + 1)
+                    E[m] *= scale
+                    W[:, m] /= scale
+                    changed = True
+        if not changed:
+            break
+    else:  # pragma: no cover - catalog inputs converge in one round
+        raise ValueError("row disambiguation did not converge")
+    out = BilinearAlgorithm(
+        n0=alg.n0,
+        U=U,
+        V=V,
+        W=W,
+        name=f"{alg.name}+su",
+        notes=f"{alg.name} with duplicate nontrivial rows rescaled to "
+        "distinct values (single-use restored).",
+    ).validate()
+    if not out.satisfies_single_use():  # pragma: no cover
+        raise ValueError("single-use disambiguation failed")
+    return out
+
+
+def broken_algorithm(alg: BilinearAlgorithm) -> BilinearAlgorithm:
+    """Corrupt one decoder coefficient.  Must fail :meth:`validate`;
+    negative control for the correctness machinery."""
+    W = alg.W.copy()
+    # Flip the first nonzero decoder coefficient.
+    e, m = np.argwhere(W != 0)[0]
+    W[e, m] += 1.0
+    return BilinearAlgorithm(
+        n0=alg.n0,
+        U=alg.U,
+        V=alg.V,
+        W=W,
+        name=f"{alg.name}+broken",
+        notes="Deliberately corrupted decoder; fails Brent validation.",
+    )

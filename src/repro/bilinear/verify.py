@@ -1,0 +1,102 @@
+"""Numeric and structural verification helpers for bilinear algorithms.
+
+The Brent equations (:meth:`BilinearAlgorithm.validate`) are the exact
+algebraic correctness criterion; this module supplies the complementary
+*numeric* cross-checks used in tests and examples (random-matrix
+evaluation, recursive evaluation agreement) and structural statistics
+(operation counts, support summaries) used by the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.utils.rngs import make_rng
+
+__all__ = [
+    "numeric_check",
+    "AlgorithmStats",
+    "algorithm_stats",
+]
+
+
+def numeric_check(
+    alg: BilinearAlgorithm,
+    trials: int = 10,
+    seed=None,
+    atol: float = 1e-8,
+) -> float:
+    """Evaluate the base case on random matrices and compare with numpy.
+
+    Returns the maximum absolute deviation across trials; raises nothing
+    (callers assert on the returned value so failures localise in tests).
+    """
+    rng = make_rng(seed)
+    worst = 0.0
+    for _ in range(trials):
+        A = rng.standard_normal((alg.n0, alg.n0))
+        B = rng.standard_normal((alg.n0, alg.n0))
+        got = alg.apply_base(A, B)
+        worst = max(worst, float(np.max(np.abs(got - A @ B))))
+    return worst
+
+
+@dataclass(frozen=True)
+class AlgorithmStats:
+    """Structural summary of a base graph, reported by experiment E1."""
+
+    name: str
+    n0: int
+    a: int
+    b: int
+    omega0: float
+    is_strassen_like: bool
+    #: scalar additions per base step (nnz(U) - b) + (nnz(V) - b) + (nnz(W) - a)
+    additions: int
+    encoder_a_components: int
+    encoder_b_components: int
+    decoder_components: int
+    satisfies_single_use: bool
+    has_multiple_copying: bool
+
+    def row(self) -> list:
+        """Row for the E1 report table."""
+        return [
+            self.name,
+            self.n0,
+            self.b,
+            round(self.omega0, 4),
+            "yes" if self.is_strassen_like else "no",
+            self.additions,
+            self.encoder_a_components,
+            self.encoder_b_components,
+            self.decoder_components,
+            "yes" if self.satisfies_single_use else "no",
+            "yes" if self.has_multiple_copying else "no",
+        ]
+
+
+def algorithm_stats(alg: BilinearAlgorithm) -> AlgorithmStats:
+    """Compute the structural summary used in experiment E1 (Figure 1)."""
+    additions = int(
+        (np.count_nonzero(alg.U) - alg.b)
+        + (np.count_nonzero(alg.V) - alg.b)
+        + (np.count_nonzero(alg.W) - alg.a)
+    )
+    return AlgorithmStats(
+        name=alg.name,
+        n0=alg.n0,
+        a=alg.a,
+        b=alg.b,
+        omega0=alg.omega0,
+        is_strassen_like=alg.is_strassen_like,
+        additions=additions,
+        encoder_a_components=len(alg.encoder_components("A")),
+        encoder_b_components=len(alg.encoder_components("B")),
+        decoder_components=len(alg.decoder_components()),
+        satisfies_single_use=alg.satisfies_single_use(),
+        has_multiple_copying=alg.has_multiple_copying(),
+    )

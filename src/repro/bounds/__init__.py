@@ -1,0 +1,77 @@
+"""Lower and upper bounds on I/O and bandwidth cost.
+
+- :mod:`repro.bounds.theorem1`: the paper's bounds (Ω-form and explicit
+  constants);
+- :mod:`repro.bounds.classical`: Hong-Kung [10] baselines;
+- :mod:`repro.bounds.optimal`: the matching upper bounds (recursive
+  blocked schedule / [3]);
+- :mod:`repro.bounds.expansion`: the edge-expansion technique of [6] and
+  its applicability;
+- :mod:`repro.bounds.crossover`: fast-vs-classical comparisons.
+"""
+
+from repro.bounds.theorem1 import (
+    io_lower_bound,
+    io_lower_bound_paper_constants,
+    parallel_bandwidth_lower_bound,
+    memory_independent_lower_bound,
+    combined_parallel_lower_bound,
+    paper_k_section5,
+    paper_k_section6,
+)
+from repro.bounds.classical import (
+    classical_io_lower_bound,
+    blocked_io_upper_bound,
+    classical_parallel_bandwidth_lower_bound,
+    classical_memory_independent_lower_bound,
+)
+from repro.bounds.optimal import (
+    recursive_io_upper_bound,
+    recursive_io_recurrence,
+)
+from repro.bounds.expansion import (
+    edge_expansion,
+    decoder_edge_expansion,
+    expansion_technique_applicable,
+)
+from repro.bounds.dominators import (
+    minimum_dominator_size,
+    minimum_set,
+    partition_by_io,
+    verify_hk_partition,
+    hong_kung_bound_from_partition,
+)
+from repro.bounds.crossover import (
+    flop_crossover_n,
+    io_crossover_n,
+    io_ratio,
+    flops,
+)
+
+__all__ = [
+    "io_lower_bound",
+    "io_lower_bound_paper_constants",
+    "parallel_bandwidth_lower_bound",
+    "memory_independent_lower_bound",
+    "combined_parallel_lower_bound",
+    "paper_k_section5",
+    "paper_k_section6",
+    "classical_io_lower_bound",
+    "blocked_io_upper_bound",
+    "classical_parallel_bandwidth_lower_bound",
+    "classical_memory_independent_lower_bound",
+    "recursive_io_upper_bound",
+    "recursive_io_recurrence",
+    "edge_expansion",
+    "decoder_edge_expansion",
+    "expansion_technique_applicable",
+    "minimum_dominator_size",
+    "minimum_set",
+    "partition_by_io",
+    "verify_hk_partition",
+    "hong_kung_bound_from_partition",
+    "flop_crossover_n",
+    "io_crossover_n",
+    "io_ratio",
+    "flops",
+]

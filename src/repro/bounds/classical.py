@@ -1,0 +1,56 @@
+"""Hong-Kung bounds for the classical algorithm, and matching uppers.
+
+The 1981 red-blue pebble game paper [10] proved the classical Θ(n^3)
+algorithm requires ``Ω(n^3 / sqrt(M))`` I/Os, attained by blocked
+multiplication with ``sqrt(M/3)``-sized blocks.  These are the baselines
+for the Strassen-vs-classical comparisons (experiment E10) and for
+showing where the paper's bound improves on the generic one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "classical_io_lower_bound",
+    "blocked_io_upper_bound",
+    "classical_parallel_bandwidth_lower_bound",
+    "classical_memory_independent_lower_bound",
+]
+
+
+def classical_io_lower_bound(n: int, M: int) -> float:
+    """Ω-form Hong-Kung bound: ``n^3 / sqrt(M)`` (plus the trivial
+    ``n^2`` for touching the data, folded in as a max)."""
+    n = check_positive_int(n, "n")
+    M = check_positive_int(M, "M")
+    return max(n**3 / math.sqrt(M), 2.0 * n * n)
+
+
+def blocked_io_upper_bound(n: int, M: int) -> float:
+    """I/O of square-blocked classical multiplication with block size
+    ``t = sqrt(M/3)``: about ``2 n^3 / t + n^2`` reads+writes.
+
+    The 3 accounts for holding one block of each of A, B, C.
+    """
+    n = check_positive_int(n, "n")
+    M = check_positive_int(M, "M")
+    t = max(1.0, math.sqrt(M / 3.0))
+    return 2.0 * n**3 / t + n * n
+
+
+def classical_parallel_bandwidth_lower_bound(n: int, M: int, P: int) -> float:
+    """Parallel Hong-Kung (Irony-Toledo-Tiskin [12]):
+    ``n^3 / (P sqrt(M))``."""
+    P = check_positive_int(P, "P")
+    return classical_io_lower_bound(n, M) / P
+
+
+def classical_memory_independent_lower_bound(n: int, P: int) -> float:
+    """Memory-independent classical bound: ``n^2 / P^(2/3)`` (matched by
+    3D algorithms)."""
+    n = check_positive_int(n, "n")
+    P = check_positive_int(P, "P")
+    return n**2 / P ** (2.0 / 3.0)

@@ -1,0 +1,100 @@
+"""Crossover analysis: where a Strassen-like algorithm beats classical.
+
+The paper's Theorem 1 gives a Strassen-like algorithm I/O
+``Θ((n/√M)^ω0 M)`` against the classical ``Θ(n^3/√M)``; equating the two
+gives the problem size past which the fast algorithm also wins on
+communication, not only on flops.  Experiment E10 regenerates the "who
+wins, where" picture from these solvers plus measured simulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.bounds.classical import classical_io_lower_bound
+from repro.bounds.theorem1 import io_lower_bound
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "flop_crossover_n",
+    "io_crossover_n",
+    "io_ratio",
+    "flops",
+]
+
+
+def flops(alg: BilinearAlgorithm, n: int) -> float:
+    """Arithmetic operation count of the recursive algorithm on
+    ``n x n`` inputs: multiplications plus linear-combination additions,
+
+        F(n) = b F(n/n0) + adds * (n/n0)^2,   F(1) = 1
+
+    where ``adds`` counts the base case's scalar additions (support
+    based, no reuse).
+    """
+    import numpy as np
+
+    n = check_positive_int(n, "n")
+    adds = (
+        (np.count_nonzero(alg.U) - alg.b)
+        + (np.count_nonzero(alg.V) - alg.b)
+        + (np.count_nonzero(alg.W) - alg.a)
+    )
+    total = 0.0
+    m = n
+    weight = 1.0
+    while m > 1:
+        block = m / alg.n0
+        total += weight * adds * block * block
+        weight *= alg.b
+        m = block
+    total += weight  # the scalar multiplications at the leaves
+    return total
+
+
+def flop_crossover_n(alg: BilinearAlgorithm, classical_constant: float = 2.0) -> float:
+    """Problem size where the fast algorithm's flops undercut classical's
+    ``classical_constant * n^3``.
+
+    Solves ``C_fast * n^ω0 = classical_constant * n^3`` with ``C_fast``
+    calibrated from :func:`flops` at a reference size.  Returns ``inf``
+    if ``ω0 >= 3``.
+    """
+    if alg.omega0 >= 3:
+        return math.inf
+    ref = alg.n0**6
+    c_fast = flops(alg, ref) / ref**alg.omega0
+    # c_fast * n^w = c_cls * n^3  =>  n = (c_fast / c_cls)^(1/(3-w))
+    return (c_fast / classical_constant) ** (1.0 / (3.0 - alg.omega0))
+
+
+def io_crossover_n(alg: BilinearAlgorithm, M: int) -> float:
+    """Problem size where the Strassen-like I/O bound undercuts the
+    classical one (Ω-forms with constant 1):
+
+        (n/√M)^ω0 M = n^3 / √M   =>   n^(3-ω0) = M^((3 - ω0)/2) ... = √M·...
+
+    Algebra: the two sides equal at ``n = M^(1/2)`` times a constant —
+    with unit constants exactly at ``n^(3-ω0) = M^((3-ω0)/2)``, i.e.
+    ``n = sqrt(M)``; below it the bounds coincide with the ``n^2`` term.
+    The function solves numerically so non-unit constants can be plugged
+    in later.
+    """
+    check_positive_int(M, "M")
+    if alg.omega0 >= 3:
+        return math.inf
+    # The fast bound is below classical for all n past ~sqrt(M); find the
+    # first power of two where it wins.
+    n = 1
+    while n < 2**40:
+        if io_lower_bound(alg, n, M) < classical_io_lower_bound(n, M):
+            return float(n)
+        n *= 2
+    return math.inf
+
+
+def io_ratio(alg: BilinearAlgorithm, n: int, M: int) -> float:
+    """Classical-over-fast I/O bound ratio at (n, M): > 1 where the fast
+    algorithm communicates asymptotically less."""
+    return classical_io_lower_bound(n, M) / io_lower_bound(alg, n, M)

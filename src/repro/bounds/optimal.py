@@ -1,0 +1,73 @@
+"""Matching upper bounds: the I/O cost of the recursive blocked schedule.
+
+The paper's bounds are optimal because [3] gives algorithms attaining
+them.  In the sequential model the attaining schedule is the recursive
+depth-first order with the recursion truncated once a subproblem fits in
+cache; its I/O recurrence
+
+    IO(n) = b * IO(n / n0) + O(a * (n / n0)^2),   IO(m) = O(m^2) once
+                                                  3 m^2 <= M
+
+solves to ``O((n / sqrt(M))^(2 log_a b) * M)``.  This module evaluates
+both the closed Ω/O-form and the exact recurrence (with explicit
+constants) so experiment E9 can sandwich measurements between lower and
+upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.utils.validation import check_positive_int, check_power
+
+__all__ = ["recursive_io_upper_bound", "recursive_io_recurrence"]
+
+
+def recursive_io_upper_bound(alg: BilinearAlgorithm, n: int, M: int) -> float:
+    """O-form of the recursive schedule's I/O:
+    ``(n / sqrt(M))^(2 log_a b) * M + n^2`` (the ``n^2`` covers the
+    mandatory touches when the problem already fits in cache)."""
+    n = check_positive_int(n, "n")
+    M = check_positive_int(M, "M")
+    omega0 = 2 * math.log(alg.b, alg.a)
+    return (n / math.sqrt(M)) ** omega0 * M + 3.0 * n * n
+
+
+def recursive_io_recurrence(alg: BilinearAlgorithm, n: int, M: int) -> int:
+    """Exact recurrence for the recursive schedule's I/O, with the
+    constants of this library's executor model.
+
+    Each recursion level reads ``2 (n/n0)^2`` words per linear
+    combination formed (nnz-dependent in reality; we charge the standard
+    ``O(a (n/n0)^2)`` with the explicit constant
+    ``(nnz(U) + nnz(V) + nnz(W) + b + a)`` words moved per level) and
+    recurses ``b`` times; the base case (problem fits: ``3 m^2 <= M``)
+    costs ``2 m^2 + m^2`` I/Os (read inputs, write outputs).
+
+    This is an upper-bound *model* (the executor may do better by keeping
+    values across siblings); tests assert measured I/O <= this recurrence
+    within the modelled regime.
+    """
+    n = check_positive_int(n, "n")
+    M = check_positive_int(M, "M")
+    check_power(n, alg.n0, "n")
+    import numpy as np
+
+    words_per_level = (
+        int(np.count_nonzero(alg.U))
+        + int(np.count_nonzero(alg.V))
+        + int(np.count_nonzero(alg.W))
+        + alg.b
+        + alg.a
+    )
+
+    @lru_cache(maxsize=None)
+    def rec(m: int) -> int:
+        if 3 * m * m <= M or m == 1:
+            return 3 * m * m
+        block = m // alg.n0
+        return alg.b * rec(block) + words_per_level * block * block
+
+    return rec(n)

@@ -1,0 +1,130 @@
+"""Theorem 1: the paper's I/O and bandwidth lower bounds.
+
+Two flavours are provided for each bound:
+
+- the Ω-form with constant 1 (``io_lower_bound`` etc.) — the right
+  object for *shape* comparisons (scaling exponents, crossovers);
+- the paper's explicit-constant form (``io_lower_bound_paper_constants``)
+  that evaluates the actual counting expression from Section 6,
+
+      floor( (3 a^k b^(r-k)) / (b^2 36 M) ) * M,
+      k = ceil(log_a 72 M),
+
+  which is what the segment argument literally certifies (the paper
+  notes it "did not optimize for the constant factor").
+
+Preconditions: Theorem 1 requires ``M = o(n^2)`` and, for the explicit
+form, ``k <= r - 2``; out-of-regime evaluations raise
+:class:`~repro.errors.BoundError` unless ``clamp=True``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.errors import BoundError
+from repro.utils.validation import check_positive_int, check_power
+
+__all__ = [
+    "io_lower_bound",
+    "io_lower_bound_paper_constants",
+    "parallel_bandwidth_lower_bound",
+    "memory_independent_lower_bound",
+    "combined_parallel_lower_bound",
+    "paper_k_section6",
+    "paper_k_section5",
+]
+
+
+def paper_k_section6(a: int, M: int) -> int:
+    """Section 6's ``k = ceil(log_a 72 M)`` — smallest k with
+    ``a^k >= 2 * 36 M``."""
+    return max(0, math.ceil(math.log(72 * M, a)))
+
+
+def paper_k_section5(M: int) -> int:
+    """Section 5's ``k = ceil(log_4 132 M)`` — smallest k with
+    ``4^k >= 2 * 66 M`` (Strassen-specific)."""
+    return max(0, math.ceil(math.log(132 * M, 4)))
+
+
+def io_lower_bound(alg: BilinearAlgorithm, n: int, M: int) -> float:
+    """Ω-form sequential bound: ``(n / sqrt(M))^(2 log_a b) * M``.
+
+    Valid for Strassen-like algorithms (ω0 < 3) under the single-use
+    assumption; for ω0 = 3 the expression still evaluates (and coincides
+    with the classical bound's shape) but Theorem 1 does not claim it.
+    """
+    n = check_positive_int(n, "n")
+    M = check_positive_int(M, "M")
+    exponent = 2 * math.log(alg.b, alg.a)  # = omega0
+    return (n / math.sqrt(M)) ** exponent * M
+
+
+def io_lower_bound_paper_constants(
+    alg: BilinearAlgorithm,
+    n: int,
+    M: int,
+    clamp: bool = False,
+) -> int:
+    """The Section 6 counting bound with the paper's explicit constants.
+
+    ``floor( 3 a^k b^(r-k) / (b^2 * 36 M) ) * M`` with
+    ``k = ceil(log_a 72M)``.  Requires ``n = n0^r`` and ``k <= r - 2``
+    (the regime ``M = o(n^2)`` in asymptotic terms).
+
+    With ``clamp=True``, out-of-regime parameters return 0 instead of
+    raising — convenient inside sweeps.
+    """
+    n = check_positive_int(n, "n")
+    M = check_positive_int(M, "M")
+    r = check_power(n, alg.n0, "n")
+    k = paper_k_section6(alg.a, M)
+    if k > r - 2:
+        if clamp:
+            return 0
+        raise BoundError(
+            f"paper-constant bound needs k={k} <= r-2={r - 2}: cache "
+            f"M={M} is too large relative to n={n} (requires M = o(n^2))"
+        )
+    a, b = alg.a, alg.b
+    counted = 3 * a**k * b ** (r - k)
+    segments = counted // (b**2 * 36 * M)
+    return segments * M
+
+
+def parallel_bandwidth_lower_bound(
+    alg: BilinearAlgorithm, n: int, M: int, P: int
+) -> float:
+    """Ω-form parallel bandwidth bound: ``(n/sqrt(M))^ω0 * M / P``.
+
+    Derived from the sequential bound by the argument of [2]: some
+    processor computes at least ``1/P`` of the counted vertices.
+    """
+    P = check_positive_int(P, "P")
+    return io_lower_bound(alg, n, M) / P
+
+
+def memory_independent_lower_bound(
+    alg: BilinearAlgorithm, n: int, P: int
+) -> float:
+    """Ω-form cache-independent bound: ``n^2 / P^(2/ω0)``.
+
+    Holds for any local memory size, provided computation is load
+    balanced per rank of the CDAG (Theorem 1, final clause).
+    """
+    n = check_positive_int(n, "n")
+    P = check_positive_int(P, "P")
+    return n**2 / P ** (2 / alg.omega0)
+
+
+def combined_parallel_lower_bound(
+    alg: BilinearAlgorithm, n: int, M: int, P: int
+) -> float:
+    """max of the memory-dependent and memory-independent bounds — the
+    piecewise bound CAPS [3] matches on both sides of the crossover."""
+    return max(
+        parallel_bandwidth_lower_bound(alg, n, M, P),
+        memory_independent_lower_bound(alg, n, P),
+    )

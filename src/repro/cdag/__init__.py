@@ -1,0 +1,65 @@
+"""Computation DAGs of recursive Strassen-like algorithms.
+
+- :class:`CDAG` / :func:`build_cdag`: the ranked recursive graph ``G_r``;
+- :mod:`repro.cdag.metavertex`: copy chains/trees (paper Figure 2);
+- :mod:`repro.cdag.decompose`: Fact 1 (``G_{r,k}`` copies) and Lemma 1
+  (input-disjoint families);
+- :mod:`repro.cdag.inspect` / :mod:`repro.cdag.render`: structure reports
+  and DOT/ASCII rendering.
+"""
+
+from repro.cdag.graph import CDAG, Region, Slab
+from repro.cdag.builder import build_cdag, build_base_graph, MAX_VERTICES
+from repro.cdag.metavertex import (
+    MetaVertexPartition,
+    compute_metavertices,
+    compute_value_classes,
+)
+from repro.cdag.decompose import (
+    Subcomputation,
+    subcomputation,
+    subcomputation_count,
+    subcomputation_of_vertex,
+    middle_ranks_vertices,
+    input_disjoint_family,
+    verify_fact1,
+)
+from repro.cdag.inspect import (
+    rank_sizes,
+    expected_rank_sizes,
+    connected_components,
+    is_connected,
+    region_components,
+    CDAGSummary,
+    summarize,
+)
+from repro.cdag.render import to_dot, ascii_ranks, describe_vertex
+
+__all__ = [
+    "CDAG",
+    "Region",
+    "Slab",
+    "build_cdag",
+    "build_base_graph",
+    "MAX_VERTICES",
+    "MetaVertexPartition",
+    "compute_metavertices",
+    "compute_value_classes",
+    "Subcomputation",
+    "subcomputation",
+    "subcomputation_count",
+    "subcomputation_of_vertex",
+    "middle_ranks_vertices",
+    "input_disjoint_family",
+    "verify_fact1",
+    "rank_sizes",
+    "expected_rank_sizes",
+    "connected_components",
+    "is_connected",
+    "region_components",
+    "CDAGSummary",
+    "summarize",
+    "to_dot",
+    "ascii_ranks",
+    "describe_vertex",
+]

@@ -1,0 +1,124 @@
+"""Structural inspection of CDAGs: rank counts, connectivity, degree
+statistics — the quantities the paper states about ``G_r`` and that
+experiment E1 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdag.graph import CDAG, Region
+from repro.utils.unionfind import UnionFind
+
+__all__ = [
+    "rank_sizes",
+    "expected_rank_sizes",
+    "connected_components",
+    "is_connected",
+    "region_components",
+    "CDAGSummary",
+    "summarize",
+]
+
+
+def rank_sizes(cdag: CDAG) -> dict[int, int]:
+    """Vertex count per global rank (``0 .. 2r+1``)."""
+    ranks, counts = np.unique(cdag.rank, return_counts=True)
+    return dict(zip(ranks.tolist(), counts.tolist()))
+
+
+def expected_rank_sizes(a: int, b: int, r: int) -> dict[int, int]:
+    """The paper's rank-size formulas for ``G_r``.
+
+    Encoder rank ``i`` has ``b^i a^(r-i)`` vertices per side; decoding
+    rank ``j`` (global rank ``r+1+j``) has ``b^(r-j) a^j``.
+    """
+    out: dict[int, int] = {}
+    for i in range(r + 1):
+        out[i] = 2 * b**i * a ** (r - i)
+    for j in range(r + 1):
+        out[r + 1 + j] = b ** (r - j) * a**j
+    return out
+
+
+def connected_components(cdag: CDAG, vertices: np.ndarray | None = None) -> int:
+    """Number of weakly connected components of the CDAG (or of the
+    induced subgraph on ``vertices``)."""
+    if vertices is None:
+        uf = UnionFind(cdag.n_vertices)
+        for child, parent in zip(
+            cdag.pred_indices.tolist(),
+            np.repeat(
+                np.arange(cdag.n_vertices), np.diff(cdag.pred_indptr)
+            ).tolist(),
+        ):
+            uf.union(child, parent)
+        return uf.n_components
+    vertices = np.asarray(vertices, dtype=np.int64)
+    index = {int(v): i for i, v in enumerate(vertices)}
+    uf = UnionFind(len(vertices))
+    for i, v in enumerate(vertices.tolist()):
+        for p in cdag.predecessors(v).tolist():
+            if p in index:
+                uf.union(i, index[p])
+    return uf.n_components
+
+
+def is_connected(cdag: CDAG) -> bool:
+    """Whether ``G_r`` is weakly connected.
+
+    The paper notes the *whole* CDAG of a correct matrix multiplication
+    algorithm must be connected, even when its encoders/decoder are not
+    individually.
+    """
+    return connected_components(cdag) == 1
+
+
+def region_components(cdag: CDAG, region: int) -> int:
+    """Weakly connected components of one region's induced subgraph.
+
+    For the decoder, the product vertices (decoding rank 0) are included
+    — this matches the paper's "decoding graph".  Disconnected here is
+    exactly the situation where the edge-expansion technique of [6]
+    breaks (experiment E12).
+    """
+    vertices = np.nonzero(cdag.region == region)[0]
+    return connected_components(cdag, vertices)
+
+
+@dataclass(frozen=True)
+class CDAGSummary:
+    """Structure report for one CDAG (experiment E1 row)."""
+
+    name: str
+    r: int
+    n_vertices: int
+    n_edges: int
+    n_inputs: int
+    n_outputs: int
+    n_products: int
+    connected: bool
+    enc_a_components: int
+    enc_b_components: int
+    dec_components: int
+    n_copy_vertices: int
+
+
+def summarize(cdag: CDAG) -> CDAGSummary:
+    """Compute the full structure report."""
+    return CDAGSummary(
+        name=cdag.alg.name,
+        r=cdag.r,
+        n_vertices=cdag.n_vertices,
+        n_edges=cdag.n_edges,
+        n_inputs=len(cdag.inputs()),
+        n_outputs=len(cdag.outputs()),
+        n_products=len(cdag.products()),
+        connected=is_connected(cdag),
+        enc_a_components=region_components(cdag, Region.ENC_A),
+        enc_b_components=region_components(cdag, Region.ENC_B),
+        dec_components=region_components(cdag, Region.DEC),
+        n_copy_vertices=int(np.count_nonzero(cdag.is_copy)),
+    )

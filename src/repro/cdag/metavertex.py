@@ -1,0 +1,238 @@
+"""Meta-vertices: grouping CDAG vertices that hold the same value.
+
+The paper (Section 3, Figure 2) groups each value's copies into a
+*meta-vertex*: a copy vertex (single predecessor, coefficient 1) holds the
+same value as that predecessor, so following copy edges partitions the
+vertex set.  Under the paper's single-use assumption every meta-vertex is
+a chain (single copying) or an upward-branching tree rooted at the
+value's first computation (multiple copying — only from trivial encoder
+rows replicated across multiplications).
+
+:class:`MetaVertexPartition` materialises this partition with union-find
+and exposes the queries the proofs need: the meta label of each vertex,
+roots, sizes, and the structural certificates (chain/tree shape,
+root-at-input) asserted by Lemma 2 and the Routing Theorem's meta-vertex
+clause.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.graph import CDAG, Region
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["MetaVertexPartition", "compute_metavertices", "compute_value_classes"]
+
+
+class MetaVertexPartition:
+    """Partition of a CDAG's vertices into meta-vertices.
+
+    Attributes
+    ----------
+    cdag:
+        The underlying graph.
+    label:
+        ``label[v]`` is the meta-vertex id of ``v`` — the *root* vertex of
+        its meta-vertex (the unique non-copy member, where the value is
+        first computed).
+    """
+
+    def __init__(self, cdag: CDAG, label: np.ndarray):
+        self.cdag = cdag
+        self.label = label
+
+    @property
+    def n_meta(self) -> int:
+        """Number of distinct meta-vertices."""
+        return len(np.unique(self.label))
+
+    def roots(self) -> np.ndarray:
+        """Sorted ids of all meta-vertex roots."""
+        return np.unique(self.label)
+
+    def members(self, root: int) -> np.ndarray:
+        """All vertices in the meta-vertex rooted at ``root``."""
+        return np.nonzero(self.label == root)[0]
+
+    def sizes(self) -> dict[int, int]:
+        """Mapping root -> meta-vertex size."""
+        roots, counts = np.unique(self.label, return_counts=True)
+        return dict(zip(roots.tolist(), counts.tolist()))
+
+    def size_histogram(self) -> dict[int, int]:
+        """Mapping meta-vertex size -> number of meta-vertices."""
+        _, counts = np.unique(self.label, return_counts=True)
+        sizes, freq = np.unique(counts, return_counts=True)
+        return dict(zip(sizes.tolist(), freq.tolist()))
+
+    def duplicated_vertices(self) -> np.ndarray:
+        """Vertices whose meta-vertex has more than one member (the
+        paper's *duplicated vertices*)."""
+        roots, counts = np.unique(self.label, return_counts=True)
+        big = set(roots[counts > 1].tolist())
+        if not big:
+            return np.empty(0, dtype=np.int64)
+        mask = np.isin(self.label, list(big))
+        return np.nonzero(mask)[0]
+
+    def same_meta(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` hold the same value (share a meta)."""
+        return bool(self.label[u] == self.label[v])
+
+    def closure(self, vertices) -> np.ndarray:
+        """Meta-closure of a vertex set: all vertices sharing a meta with
+        any member (the paper's convention "when v is in S, every vertex
+        in the same meta-vertex is also in S")."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) == 0:
+            return vertices
+        wanted = np.unique(self.label[vertices])
+        return np.nonzero(np.isin(self.label, wanted))[0]
+
+    # ------------------------------------------------------------------
+    # Structural certificates
+    # ------------------------------------------------------------------
+
+    def verify_tree_structure(self) -> bool:
+        """Check every meta-vertex is an upward tree of copy edges whose
+        non-root members are all copy vertices.
+
+        This is the structural fact the Routing Theorem's final paragraph
+        relies on ("any path hitting a meta-vertex also hits the root
+        vertex of the meta-vertex" — only in the sense that copies above
+        the root are reached from it).  Returns True when the partition is
+        well-formed; a False indicates a builder bug.
+        """
+        cdag = self.cdag
+        for v in range(cdag.n_vertices):
+            root = self.label[v]
+            if v == root:
+                if cdag.is_copy[v]:
+                    return False
+            else:
+                if not cdag.is_copy[v]:
+                    return False
+                # Walking copy-parents must reach the root.
+                cur = v
+                steps = 0
+                while cdag.is_copy[cur]:
+                    cur = int(cdag.predecessors(cur)[0])
+                    steps += 1
+                    if steps > cdag.n_vertices:  # pragma: no cover
+                        return False
+                if cur != root:
+                    return False
+        return True
+
+    def multi_copy_roots(self) -> np.ndarray:
+        """Roots of meta-vertices that branch (multiple copying):
+        some member has two or more copy-children."""
+        cdag = self.cdag
+        out = []
+        for root in self.roots():
+            members = self.members(root)
+            if len(members) <= 1:
+                continue
+            member_set = set(members.tolist())
+            for v in members:
+                copy_children = [
+                    int(s)
+                    for s in cdag.successors(int(v))
+                    if cdag.is_copy[s] and int(s) in member_set
+                ]
+                if len(copy_children) > 1:
+                    out.append(int(root))
+                    break
+        return np.array(sorted(out), dtype=np.int64)
+
+    def nontrivial_roots_at_inputs(self) -> bool:
+        """Paper's single-use consequence: every meta-vertex with more
+        than one member that *branches* is rooted at an input vertex.
+
+        (Chains — single copying — may root anywhere.)
+        """
+        cdag = self.cdag
+        input_set = set(cdag.inputs().tolist())
+        return all(int(r) in input_set for r in self.multi_copy_roots())
+
+    def decoder_has_no_copying(self) -> bool:
+        """Lemma 2 premise: the decoding graph contains no copy vertices
+        (true for every correct MM algorithm with n0 >= 2)."""
+        cdag = self.cdag
+        dec = cdag.region == Region.DEC
+        return not bool(np.any(cdag.is_copy & dec))
+
+
+def compute_value_classes(
+    cdag: CDAG, seed=None, trials: int = 2
+) -> np.ndarray:
+    """Group vertices by *value equality* — the paper's meta-vertex
+    notion taken literally ("group all vertices that represent the same
+    value").
+
+    Copy-edge meta-vertices (:func:`compute_metavertices`) capture value
+    equality arising from copying; when the single-use assumption fails,
+    two nontrivial combination vertices may also carry equal values
+    without any copy edge (e.g. duplicate rows in ``strassen (x)
+    classical``).  This function detects such classes empirically: the
+    CDAG is evaluated on ``trials`` independent random *integer* inputs
+    (values are then exact for integer-coefficient algorithms), and
+    vertices whose value tuples agree across all trials share a class.
+
+    Returns a label array (class id = smallest member).  Used by the
+    Section-8 experiments to check routing hit counts at value-class
+    granularity for assumption-violating algorithms.
+    """
+    from repro.utils.rngs import make_rng
+
+    rng = make_rng(seed)
+    n = cdag.alg.n0**cdag.r
+    signatures: list[tuple] = [() for _ in range(cdag.n_vertices)]
+    for _ in range(max(1, trials)):
+        A = rng.integers(-9, 10, size=(n, n)).astype(np.float64)
+        B = rng.integers(-9, 10, size=(n, n)).astype(np.float64)
+        values = cdag.evaluate(A, B)
+        flat = np.empty(cdag.n_vertices)
+        for (region, local_rank), slab in cdag.slabs.items():
+            key = (
+                f"dec_{local_rank}"
+                if region == 2
+                else f"enc_{'A' if region == 0 else 'B'}_{local_rank}"
+            )
+            flat[slab.offset : slab.offset + slab.size] = values[key]
+        rounded = np.round(flat, 6)
+        signatures = [
+            sig + (float(val),) for sig, val in zip(signatures, rounded)
+        ]
+    groups: dict[tuple, int] = {}
+    label = np.empty(cdag.n_vertices, dtype=np.int64)
+    for v, sig in enumerate(signatures):
+        if sig not in groups:
+            groups[sig] = v
+        label[v] = groups[sig]
+    return label
+
+
+def compute_metavertices(cdag: CDAG) -> MetaVertexPartition:
+    """Group the CDAG's vertices into meta-vertices via copy edges."""
+    uf = UnionFind(cdag.n_vertices)
+    copy_vertices = np.nonzero(cdag.is_copy)[0]
+    for v in copy_vertices.tolist():
+        u = int(cdag.pred_indices[cdag.pred_indptr[v]])
+        uf.union(v, u)
+
+    # Canonical label: the root (non-copy member) of each component.  The
+    # union-find representative may be any member, so map representatives
+    # to roots explicitly.
+    rep = np.fromiter(
+        (uf.find(v) for v in range(cdag.n_vertices)),
+        count=cdag.n_vertices,
+        dtype=np.int64,
+    )
+    root_of_rep: dict[int, int] = {}
+    non_copy = ~cdag.is_copy
+    for v in np.nonzero(non_copy)[0].tolist():
+        root_of_rep[int(rep[v])] = v
+    label = np.array([root_of_rep[int(r)] for r in rep], dtype=np.int64)
+    return MetaVertexPartition(cdag, label)

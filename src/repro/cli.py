@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+- ``catalog``               — list the algorithm catalog with parameters;
+- ``bounds``                — evaluate Theorem 1 (and baselines) at (n, M, P);
+- ``simulate``              — pebble-game I/O of a schedule on G_r;
+- ``route``                 — build and verify a Theorem-2 certificate;
+- ``caps``                  — simulate parallel bandwidth for (n, P, M);
+- ``experiments``           — run the reproduction experiments;
+- ``render``                — DOT/ASCII rendering of a base graph.
+
+Everything the CLI prints is computed by the same public API the tests
+exercise; the CLI adds no logic of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bilinear import by_name, list_catalog
+from repro.bilinear.compose import named_compositions
+from repro.utils.tables import TextTable
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Matrix Multiplication "
+            "I/O-Complexity by Path Routing' (SPAA 2015)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list available algorithms")
+
+    p_bounds = sub.add_parser("bounds", help="evaluate Theorem 1 bounds")
+    p_bounds.add_argument("--alg", default="strassen")
+    p_bounds.add_argument("--n", type=int, required=True)
+    p_bounds.add_argument("--M", type=int, required=True)
+    p_bounds.add_argument("--P", type=int, default=1)
+
+    p_sim = sub.add_parser("simulate", help="pebble-game I/O of G_r")
+    p_sim.add_argument("--alg", default="strassen")
+    p_sim.add_argument("--r", type=int, required=True)
+    p_sim.add_argument("--M", type=int, required=True)
+    p_sim.add_argument(
+        "--schedule", default="recursive",
+        choices=["recursive", "rank", "random"],
+    )
+    p_sim.add_argument(
+        "--policy", default="lru", choices=["lru", "fifo", "belady"]
+    )
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_route = sub.add_parser("route", help="Theorem-2 routing certificate")
+    p_route.add_argument("--alg", default="strassen")
+    p_route.add_argument("--k", type=int, default=1)
+
+    p_caps = sub.add_parser("caps", help="parallel bandwidth simulation")
+    p_caps.add_argument("--alg", default="strassen")
+    p_caps.add_argument("--n", type=int, required=True)
+    p_caps.add_argument("--P", type=int, required=True)
+    p_caps.add_argument("--M", type=int, required=True)
+    p_caps.add_argument(
+        "--strategy", default="auto",
+        choices=["auto", "bfs-first", "dfs-first"],
+    )
+
+    p_exp = sub.add_parser("experiments", help="run reproduction experiments")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
+
+    p_render = sub.add_parser("render", help="render a base graph")
+    p_render.add_argument("--alg", default="strassen")
+    p_render.add_argument("--r", type=int, default=1)
+    p_render.add_argument(
+        "--format", default="ascii", choices=["ascii", "dot"]
+    )
+    return parser
+
+
+def _cmd_catalog() -> int:
+    table = TextTable(
+        ["name", "n0", "b", "omega0", "fast", "single-use", "dec comps"],
+        title="Algorithm catalog",
+    )
+    for alg in list_catalog() + named_compositions():
+        table.add_row(
+            [alg.name, alg.n0, alg.b, round(alg.omega0, 4),
+             "yes" if alg.is_strassen_like else "no",
+             "yes" if alg.satisfies_single_use() else "no",
+             len(alg.decoder_components())]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    from repro.bounds import (
+        classical_io_lower_bound,
+        io_lower_bound,
+        memory_independent_lower_bound,
+        parallel_bandwidth_lower_bound,
+        recursive_io_upper_bound,
+    )
+
+    alg = by_name(args.alg)
+    print(f"{alg.name}: omega0 = {alg.omega0:.4f}")
+    print(f"n = {args.n}, M = {args.M}, P = {args.P}")
+    print(f"  Theorem 1 sequential I/O >= "
+          f"{io_lower_bound(alg, args.n, args.M):.4e}")
+    print(f"  recursive upper bound     ~ "
+          f"{recursive_io_upper_bound(alg, args.n, args.M):.4e}")
+    print(f"  Hong-Kung (classical)    >= "
+          f"{classical_io_lower_bound(args.n, args.M):.4e}")
+    if args.P > 1:
+        print(f"  parallel bandwidth       >= "
+              f"{parallel_bandwidth_lower_bound(alg, args.n, args.M, args.P):.4e}")
+        print(f"  memory-independent       >= "
+              f"{memory_independent_lower_bound(alg, args.n, args.P):.4e}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.bounds import io_lower_bound
+    from repro.cdag import build_cdag
+    from repro.pebbling import simulate_io
+    from repro.schedules import (
+        random_topological_schedule,
+        rank_order_schedule,
+        recursive_schedule,
+    )
+
+    alg = by_name(args.alg)
+    g = build_cdag(alg, args.r)
+    sched = {
+        "recursive": lambda: recursive_schedule(g),
+        "rank": lambda: rank_order_schedule(g),
+        "random": lambda: random_topological_schedule(g, seed=args.seed),
+    }[args.schedule]()
+    res = simulate_io(g, sched, args.M, policy=args.policy)
+    n = alg.n0**args.r
+    print(f"{g} with {args.schedule} schedule, M={args.M}, {args.policy}:")
+    print(f"  reads={res.reads} writes={res.writes} total={res.total}")
+    print(f"  (input reads {res.input_reads}, spills "
+          f"{res.spill_reads}r/{res.spill_writes}w, outputs "
+          f"{res.output_writes})")
+    print(f"  Theorem 1 lower bound: {io_lower_bound(alg, n, args.M):.1f}")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.routing import theorem2_certificate
+
+    alg = by_name(args.alg)
+    cert = theorem2_certificate(alg, args.k)
+    print(f"Theorem 2 certificate for {alg.name}, k={args.k}:")
+    print(f"  paths: {cert.report.n_paths}")
+    print(f"  claimed m = 6a^k = {cert.claimed_m}")
+    print(f"  measured max vertex hits: {cert.report.max_vertex_hits}")
+    print(f"  measured max meta hits:   {cert.report.max_meta_hits}")
+    print(f"  lemma 3 max hits (<= {2 * alg.n0 ** args.k}): "
+          f"{cert.lemma3_max_hits}")
+    print(f"  single-use assumption: {cert.single_use}")
+    print(f"  VERIFIED: {cert.report.within_bound}")
+    return 0 if cert.report.within_bound else 1
+
+
+def _cmd_caps(args) -> int:
+    from repro.parallel import DistributedMachine, simulate_caps
+
+    alg = by_name(args.alg)
+    run = simulate_caps(
+        alg, args.n, DistributedMachine(args.P, args.M), args.strategy
+    )
+    print(f"CAPS simulation: {alg.name}, n={args.n}, P={args.P}, "
+          f"M={args.M}, strategy={args.strategy}")
+    print(f"  schedule: {run.schedule_string}")
+    print(f"  bandwidth cost: {run.bandwidth_cost} words")
+    print(f"  peak memory/processor: {run.peak_memory_per_processor:.0f}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.ids)
+
+
+def _cmd_render(args) -> int:
+    from repro.cdag import ascii_ranks, build_cdag, to_dot
+
+    alg = by_name(args.alg)
+    g = build_cdag(alg, args.r)
+    print(to_dot(g) if args.format == "dot" else ascii_ranks(g))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "catalog":
+        return _cmd_catalog()
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "route":
+        return _cmd_route(args)
+    if args.command == "caps":
+        return _cmd_caps(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

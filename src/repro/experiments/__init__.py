@@ -1,0 +1,27 @@
+"""Experiment harness regenerating every quantitative statement of the
+paper (see DESIGN.md section 3 for the experiment <-> paper map).
+
+Run one experiment::
+
+    from repro.experiments import get_experiment
+    result = get_experiment("E4")()
+    print(result.render())
+
+or all of them::
+
+    python -m repro.experiments
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]

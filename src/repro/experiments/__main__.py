@@ -1,0 +1,33 @@
+"""Run all (or selected) experiments and print their reports.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments E4 E9      # run selected
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import get_experiment, list_experiments
+
+
+def main(argv: list[str]) -> int:
+    ids = argv or list_experiments()
+    failures = []
+    for experiment_id in ids:
+        result = get_experiment(experiment_id)()
+        print(result.render())
+        print()
+        if not result.all_checks_pass:
+            failures.append(experiment_id)
+    if failures:
+        print(f"FAILED experiments: {failures}")
+        return 1
+    print(f"All {len(ids)} experiments reproduced.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,127 @@
+"""E9 — Theorem 1, sequential: measured I/O vs the bound sandwich.
+
+Sweep ``r`` and ``M`` for Strassen's algorithm; measure pebble-game I/O
+of the recursive schedule (Belady and LRU) and of the naive schedules;
+compare against the Ω-form lower bound and the recurrence upper bound.
+Shape checks: (a) no measurement falls below the Ω-form with constant 1
+in the scaling regime; (b) the recursive schedule's log-log slope in
+``n`` approaches ``ω0 = log2 7``; (c) naive schedules are asymptotically
+worse.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bilinear import strassen
+from repro.bounds import io_lower_bound, recursive_io_recurrence
+from repro.cdag import build_cdag
+from repro.experiments.harness import ExperimentResult, register
+from repro.pebbling import CacheExecutor
+from repro.schedules import rank_order_schedule, recursive_schedule
+from repro.utils.tables import TextTable
+
+__all__ = ["run"]
+
+
+@register("E9")
+def run(r_max: int = 5, cache_sizes=(12, 24, 48, 96)) -> ExperimentResult:
+    alg = strassen()
+    table = TextTable(
+        ["n", "M", "lower Ω-form", "recursive (belady)", "recursive (lru)",
+         "rank-order (lru)", "upper recurrence"],
+        title="E9: sequential I/O — measurements vs Theorem 1 bounds",
+    )
+    checks: dict[str, bool] = {}
+    measurements: dict[tuple[int, int], dict[str, float]] = {}
+
+    for r in range(2, r_max + 1):
+        g = build_cdag(alg, r)
+        executor = CacheExecutor(g)
+        rec_sched = executor.validate_schedule(recursive_schedule(g))
+        rank_sched = executor.validate_schedule(rank_order_schedule(g))
+        n = alg.n0**r
+        for M in cache_sizes:
+            lower = io_lower_bound(alg, n, M)
+            rec_belady = executor.run(rec_sched, M, "belady", validate=False).total
+            rec_lru = executor.run(rec_sched, M, "lru", validate=False).total
+            rank_lru = executor.run(rank_sched, M, "lru", validate=False).total
+            upper = recursive_io_recurrence(alg, n, M)
+            table.add_row(
+                [n, M, round(lower), rec_belady, rec_lru, rank_lru, upper]
+            )
+            measurements[(n, M)] = {
+                "lower": lower,
+                "rec_belady": rec_belady,
+                "rec_lru": rec_lru,
+                "rank_lru": rank_lru,
+                "upper": upper,
+            }
+
+    # (a) soundness: measured >= Ω-form (constant 1) wherever the bound
+    # is in its regime (M = o(n^2): use M <= n^2 / 4).
+    sound = all(
+        m["rec_belady"] >= m["lower"] and m["rank_lru"] >= m["lower"]
+        for (n, M), m in measurements.items()
+        if M <= n * n / 4
+    )
+    checks["no measurement beats the Ω-form lower bound"] = sound
+
+    # (b) slope of recursive-schedule I/O in n at fixed M.
+    M0 = cache_sizes[0]
+    ns = sorted(n for (n, M) in measurements if M == M0)
+    slopes = [
+        math.log(
+            measurements[(n2, M0)]["rec_belady"]
+            / measurements[(n1, M0)]["rec_belady"],
+            2,
+        )
+        / math.log(n2 / n1, 2)
+        for n1, n2 in zip(ns, ns[1:])
+    ]
+    slope_table = TextTable(
+        ["n1 -> n2", "measured slope", "omega0 = log2 7"],
+        title="E9: log-log slope of recursive-schedule I/O in n (M fixed)",
+    )
+    for (n1, n2), s in zip(zip(ns, ns[1:]), slopes):
+        slope_table.add_row([f"{n1}->{n2}", round(s, 3), round(alg.omega0, 3)])
+    # Finite-size effects shrink with r; at the default sweep depth the
+    # last doubling's slope is within 0.35 of omega0 (looser for the
+    # truncated sweeps used in quick test runs).
+    tolerance = 0.35 if r_max >= 4 else 0.6  # finite-size window
+    checks["recursive slope approaches omega0"] = (
+        abs(slopes[-1] - alg.omega0) < tolerance
+    )
+
+    # (c) the naive schedule does not enjoy the M-scaling: its I/O
+    # decreases much more slowly with M than the recursive schedule's.
+    n_big = alg.n0**r_max
+    rec_gain = (
+        measurements[(n_big, cache_sizes[0])]["rec_belady"]
+        / measurements[(n_big, cache_sizes[-1])]["rec_belady"]
+    )
+    rank_gain = (
+        measurements[(n_big, cache_sizes[0])]["rank_lru"]
+        / measurements[(n_big, cache_sizes[-1])]["rank_lru"]
+    )
+    checks["blocking pays: recursive gains more from M than rank-order"] = (
+        rec_gain > rank_gain
+    )
+    checks["recursive beats rank-order at the largest size"] = (
+        measurements[(n_big, cache_sizes[0])]["rec_belady"]
+        < measurements[(n_big, cache_sizes[0])]["rank_lru"]
+    )
+    # The recurrence models the leaf working set as 3 m^2; the real
+    # executor also keeps encoded intermediates live near the cache
+    # boundary, so agreement is up to a constant factor, not pointwise.
+    checks["measured recursive within 4x of recurrence model"] = all(
+        m["rec_belady"] <= 4 * m["upper"] for m in measurements.values()
+    )
+
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Theorem 1 sequential: I/O sweep",
+        tables=[table, slope_table],
+        checks=checks,
+        data={"measurements": {f"{k}": v for k, v in measurements.items()}},
+    )

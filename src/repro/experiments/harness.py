@@ -1,0 +1,83 @@
+"""Experiment harness: registry, result container, report rendering.
+
+Each experiment module ``e01`` … ``e12`` exposes ``run(**params)``
+returning an :class:`ExperimentResult`; the registry lets the benchmark
+suite, the examples, and ``python -m repro.experiments`` drive them
+uniformly.  Every result carries named boolean *checks* — the
+paper-claim verdicts — plus the tables whose rows are recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.utils.tables import TextTable
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "list_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    tables: list[TextTable] = field(default_factory=list)
+    #: named paper-claim verdicts; all must be True for the experiment
+    #: to count as reproduced.
+    checks: dict[str, bool] = field(default_factory=dict)
+    #: free-form numeric payload for programmatic consumers.
+    data: dict = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        for name, ok in self.checks.items():
+            lines.append(f"[{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator: register an experiment's run function."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Fetch a registered experiment by id (e.g. ``"E4"``)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    # Import experiment modules lazily to avoid import cycles.
+    from repro.experiments import (  # noqa: F401
+        e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14,
+    )

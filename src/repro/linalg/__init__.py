@@ -1,0 +1,15 @@
+"""Numeric matrix-multiplication kernels with exact operation counting:
+classical (naive / blocked) and the recursive execution of any bilinear
+algorithm from the catalog."""
+
+from repro.linalg.counting import OpCounter
+from repro.linalg.classical import naive_matmul, blocked_matmul
+from repro.linalg.bilinear_apply import recursive_matmul, strassen_matmul
+
+__all__ = [
+    "OpCounter",
+    "naive_matmul",
+    "blocked_matmul",
+    "recursive_matmul",
+    "strassen_matmul",
+]

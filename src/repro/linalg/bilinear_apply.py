@@ -1,0 +1,113 @@
+"""Recursive numeric execution of any bilinear algorithm.
+
+``recursive_matmul(alg, A, B)`` runs the Strassen-like recursion exactly
+as the CDAG encodes it: block the inputs into ``n0 x n0`` grids, form the
+``b`` encoded linear combinations, recurse on the products, decode.
+Works for every catalog algorithm and composition, counts operations
+exactly, and supports a ``cutoff`` below which classical multiplication
+takes over (the practical hybrid, used by the flop-crossover experiment
+E10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.errors import AlgorithmError
+from repro.linalg.counting import OpCounter
+from repro.utils.validation import check_power
+
+__all__ = ["recursive_matmul", "strassen_matmul"]
+
+
+def recursive_matmul(
+    alg: BilinearAlgorithm,
+    A: np.ndarray,
+    B: np.ndarray,
+    counter: OpCounter | None = None,
+    cutoff: int = 1,
+) -> np.ndarray:
+    """Multiply via the recursive bilinear algorithm.
+
+    Parameters
+    ----------
+    cutoff:
+        Subproblems of size ``<= cutoff`` switch to numpy's classical
+        multiplication (counted as classical flops).  ``cutoff=1`` runs
+        the pure recursion, mirroring the CDAG exactly.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.shape != B.shape or A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise AlgorithmError("expected equal square matrices")
+    n = A.shape[0]
+    check_power(n, alg.n0, "n")
+    if cutoff < 1:
+        raise AlgorithmError("cutoff must be >= 1")
+    return _rec(alg, A, B, counter, cutoff)
+
+
+def _rec(
+    alg: BilinearAlgorithm,
+    A: np.ndarray,
+    B: np.ndarray,
+    counter: OpCounter | None,
+    cutoff: int,
+) -> np.ndarray:
+    n = A.shape[0]
+    if n <= cutoff:
+        if counter is not None:
+            counter.add_mults(n**3)
+            counter.add_adds(n**3 - n * n)
+        return A @ B
+
+    n0 = alg.n0
+    block = n // n0
+    # Blocks in entry-index order (row-major over the n0 x n0 grid).
+    A_blocks = [
+        A[r * block : (r + 1) * block, c * block : (c + 1) * block]
+        for r in range(n0)
+        for c in range(n0)
+    ]
+    B_blocks = [
+        B[r * block : (r + 1) * block, c * block : (c + 1) * block]
+        for r in range(n0)
+        for c in range(n0)
+    ]
+
+    def combine(coeffs: np.ndarray, blocks: list[np.ndarray]) -> np.ndarray:
+        out = np.zeros((block, block))
+        terms = 0
+        for coeff, blk in zip(coeffs, blocks):
+            if coeff:
+                out += coeff * blk
+                terms += 1
+        if counter is not None and terms > 1:
+            counter.add_adds((terms - 1) * block * block)
+        return out
+
+    products = []
+    for m in range(alg.b):
+        left = combine(alg.U[m], A_blocks)
+        right = combine(alg.V[m], B_blocks)
+        products.append(_rec(alg, left, right, counter, cutoff))
+
+    C = np.zeros_like(A)
+    for e in range(alg.a):
+        r, c = divmod(e, n0)
+        out = combine(alg.W[e], products)
+        C[r * block : (r + 1) * block, c * block : (c + 1) * block] = out
+    return C
+
+
+def strassen_matmul(
+    A: np.ndarray,
+    B: np.ndarray,
+    counter: OpCounter | None = None,
+    cutoff: int = 1,
+) -> np.ndarray:
+    """Strassen's algorithm (convenience wrapper)."""
+    from repro.bilinear.catalog import strassen
+
+    return recursive_matmul(strassen(), A, B, counter=counter, cutoff=cutoff)

@@ -1,0 +1,35 @@
+"""Parallel machine model, CAPS bandwidth simulator, classical baselines,
+and CDAG-partition traffic accounting (Theorem 1's parallel clauses)."""
+
+from repro.parallel.machine import DistributedMachine, CommunicationLog
+from repro.parallel.caps import CapsRun, simulate_caps, minimum_memory
+from repro.parallel.baselines import (
+    cannon_2d_bandwidth,
+    summa_bandwidth,
+    classical_3d_bandwidth,
+    classical_25d_bandwidth,
+    replication_for_memory,
+)
+from repro.parallel.partition import (
+    partition_by_rank_balanced,
+    validate_rank_balanced,
+    communication_volume,
+    per_processor_traffic,
+)
+
+__all__ = [
+    "DistributedMachine",
+    "CommunicationLog",
+    "CapsRun",
+    "simulate_caps",
+    "minimum_memory",
+    "cannon_2d_bandwidth",
+    "summa_bandwidth",
+    "classical_3d_bandwidth",
+    "classical_25d_bandwidth",
+    "replication_for_memory",
+    "partition_by_rank_balanced",
+    "validate_rank_balanced",
+    "communication_volume",
+    "per_processor_traffic",
+]

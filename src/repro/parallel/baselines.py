@@ -1,0 +1,81 @@
+"""Classical parallel baselines: 2D, 3D, and 2.5D cost models.
+
+Closed-form bandwidth costs of the standard classical parallel matrix
+multiplication algorithms, used by experiment E11 to contrast the
+Strassen-like CAPS costs with the classical landscape:
+
+- **2D (Cannon / SUMMA)**: processors in a ``√P x √P`` grid, minimal
+  memory (``~3n²/P``); bandwidth ``Θ(n²/√P)``.
+- **3D**: ``P^(1/3)`` replication; memory ``Θ(n²/P^(2/3))``; bandwidth
+  ``Θ(n²/P^(2/3))`` — matches the classical memory-independent bound.
+- **2.5D (Solomonik-Demmel)**: ``c``-fold replication interpolating the
+  two: bandwidth ``Θ(n²/√(cP))`` with memory ``Θ(c n²/P)``.
+
+Constants follow the standard algorithm descriptions (each block of A
+and B traverses the grid once); they are cost *models*, not packet
+traces — the same substitution rationale as the CAPS simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PartitionError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "cannon_2d_bandwidth",
+    "summa_bandwidth",
+    "classical_3d_bandwidth",
+    "classical_25d_bandwidth",
+    "replication_for_memory",
+]
+
+
+def cannon_2d_bandwidth(n: int, P: int) -> float:
+    """Cannon's algorithm on a ``√P x √P`` grid: each processor passes
+    its A and B blocks through ``√P`` shifts: ``2 n²/√P`` words."""
+    check_positive_int(n, "n")
+    check_positive_int(P, "P")
+    root = math.isqrt(P)
+    if root * root != P:
+        raise PartitionError(f"Cannon needs a square grid; P={P}")
+    return 2.0 * n * n / root
+
+
+def summa_bandwidth(n: int, P: int) -> float:
+    """SUMMA's broadcast variant: ``Θ(n²/√P)`` with a log factor from
+    broadcasts; we charge ``2 (n²/√P) log2(√P)``."""
+    check_positive_int(n, "n")
+    check_positive_int(P, "P")
+    root = math.isqrt(P)
+    if root * root != P:
+        raise PartitionError(f"SUMMA (square grid) needs square P; got {P}")
+    return 2.0 * n * n / root * max(1.0, math.log2(root))
+
+
+def classical_3d_bandwidth(n: int, P: int) -> float:
+    """3D algorithm on a ``P^(1/3)`` cube: ``3 n²/P^(2/3)`` words."""
+    check_positive_int(n, "n")
+    check_positive_int(P, "P")
+    return 3.0 * n * n / P ** (2.0 / 3.0)
+
+
+def classical_25d_bandwidth(n: int, P: int, c: int) -> float:
+    """2.5D with ``c``-fold replication (``1 <= c <= P^(1/3)``):
+    ``2 n²/√(cP)`` words."""
+    check_positive_int(c, "c")
+    if c > round(P ** (1.0 / 3.0)) + 1e-9:
+        raise PartitionError(
+            f"2.5D replication c={c} exceeds P^(1/3)={P ** (1/3):.2f}"
+        )
+    return 2.0 * n * n / math.sqrt(c * P)
+
+
+def replication_for_memory(n: int, P: int, M: int) -> int:
+    """Largest 2.5D replication factor ``c`` fitting local memory ``M``
+    (memory ``~3 c n²/P``), clamped to ``[1, P^(1/3)]``."""
+    check_positive_int(M, "M")
+    c = int(M * P / (3.0 * n * n))
+    c_max = max(1, int(round(P ** (1.0 / 3.0))))
+    return max(1, min(c, c_max))

@@ -1,0 +1,175 @@
+"""CAPS-style parallel Strassen-like execution, cost-simulated.
+
+The communication-optimal parallel algorithm of [3]
+(Communication-Avoiding Parallel Strassen) runs the recursion with two
+step types:
+
+- **BFS step** (breadth-first): form the ``b`` encoded subproblems with
+  local additions, split the processor group into ``b`` subgroups, and
+  *redistribute* so each subgroup owns one subproblem.  Communication:
+  every processor ships ``Θ(b (n/n0)^2 / P)`` words (scatter) and later
+  the same order again (gather of results); per-processor memory grows by
+  the factor ``b/a`` (``b`` subproblems, each ``1/a``-th the elements,
+  on ``1/b``-th the processors).
+- **DFS step** (depth-first): the whole group handles the ``b``
+  subproblems one after another.  Additions are local (every block has
+  the same distribution), so a DFS step moves no words and keeps the
+  per-processor memory of the same order — but the entire remaining
+  recursion repeats ``b`` times.
+
+Exactly ``log_b P`` BFS steps are needed before groups reach size one
+and multiply locally; the *placement* of those steps is the
+memory/communication tradeoff.  Taking DFS steps first until the
+remaining all-BFS phase fits in memory (the CAPS policy, ``"auto"``)
+attains the paper's Theorem-1 bound
+
+    BW(n, P, M) = Θ( max( (n/√M)^ω0 · M/P ,  n^2 / P^(2/ω0) ) ),
+
+the left term binding when memory is scarce, the right (perfect strong
+scaling, [2]) when plentiful.  The simulator tracks words and
+per-processor memory explicitly — the paper's bandwidth cost is a
+deterministic function of the recursion shape, so no real network is
+needed (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.errors import PartitionError
+from repro.parallel.machine import CommunicationLog, DistributedMachine
+from repro.utils.validation import check_positive_int, check_power
+
+__all__ = ["CapsRun", "simulate_caps", "minimum_memory"]
+
+
+@dataclass(frozen=True)
+class CapsRun:
+    """Outcome of one simulated CAPS execution."""
+
+    algorithm: str
+    n: int
+    P: int
+    local_memory: int
+    steps: tuple[str, ...]          # outermost-in: "bfs" / "dfs" / "local"
+    bandwidth_cost: int
+    peak_memory_per_processor: float
+    n_supersteps: int
+
+    @property
+    def schedule_string(self) -> str:
+        return "".join(s[0].upper() for s in self.steps)
+
+
+def minimum_memory(alg: BilinearAlgorithm, n: int, P: int) -> float:
+    """Memory floor: each processor must at least hold its share of the
+    three matrices, ``3 n^2 / P`` words."""
+    return 3.0 * n * n / P
+
+
+def simulate_caps(
+    alg: BilinearAlgorithm,
+    n: int,
+    machine: DistributedMachine,
+    strategy: str = "auto",
+) -> CapsRun:
+    """Simulate the CAPS recursion and return its bandwidth cost.
+
+    Requirements: ``n = n0^r`` and ``P = b^t`` with ``t <= r`` (exact
+    divisibility keeps the simulation faithful to [3]'s analysis).
+
+    Strategies
+    ----------
+    ``"auto"``
+        DFS until the remaining all-BFS phase fits in ``M`` (CAPS).
+    ``"bfs-first"``
+        All BFS steps first (minimum communication; raises
+        :class:`PartitionError` if memory is insufficient).
+    ``"dfs-first"``
+        All DFS steps first, BFS only at the bottom of the recursion
+        (minimum memory, maximum communication).
+    """
+    check_positive_int(n, "n")
+    r = check_power(n, alg.n0, "n")
+    P, M = machine.n_processors, machine.local_memory
+    t = check_power(P, alg.b, "P") if P > 1 else 0
+    if t > r:
+        raise PartitionError(f"P = b^{t} needs recursion depth >= {t}, got {r}")
+    if minimum_memory(alg, n, P) > M:
+        raise PartitionError(
+            f"local memory {M} cannot hold 3 n^2 / P = "
+            f"{minimum_memory(alg, n, P):.0f} words"
+        )
+    if strategy not in ("auto", "bfs-first", "dfs-first"):
+        raise PartitionError(f"unknown strategy {strategy!r}")
+
+    ratio = alg.b / alg.a  # per-BFS-step footprint growth factor
+    floor = minimum_memory(alg, n, P)  # the original data never leaves
+
+    def footprint(cur_n: int, cur_p: int) -> float:
+        """Per-processor words of the current subproblem's live data.
+        A BFS step multiplies this by b/a; a DFS step divides it by a —
+        both fall out of the (cur_n, cur_p) update."""
+        return 3.0 * cur_n * cur_n / cur_p
+
+    def bfs_phase_fits(cur_n: int, cur_p: int, bfs_left: int) -> bool:
+        """Would running all remaining BFS steps from here stay in M?"""
+        return footprint(cur_n, cur_p) * ratio**bfs_left + floor <= M
+
+    log = CommunicationLog(P)
+    steps: list[str] = []
+    peak = 0.0
+
+    def rec(cur_n: int, cur_p: int, bfs_left: int) -> None:
+        nonlocal peak
+        # At the root the working set *is* the original data (the floor);
+        # below it, encoded subproblem blocks coexist with that data.
+        here = floor if cur_n == n else footprint(cur_n, cur_p) + floor
+        peak = max(peak, here)
+        if cur_p == 1:
+            steps.append("local")
+            return
+        if strategy == "bfs-first":
+            do_bfs = True
+            if footprint(cur_n, cur_p) * ratio + floor > M:
+                raise PartitionError(
+                    f"forced BFS exceeds local memory at n={cur_n}, "
+                    f"P={cur_p}"
+                )
+        elif strategy == "dfs-first":
+            # Postpone BFS until forced: only bfs_left levels remain.
+            levels_left = round(math.log(cur_n, alg.n0))
+            do_bfs = levels_left <= bfs_left
+        else:  # auto
+            do_bfs = bfs_phase_fits(cur_n, cur_p, bfs_left)
+
+        block_words = (cur_n // alg.n0) ** 2
+        if do_bfs:
+            steps.append("bfs")
+            # Scatter the 2b encoded operand blocks, gather b results.
+            log.uniform_superstep(2.0 * alg.b * block_words / cur_p)
+            rec(cur_n // alg.n0, cur_p // alg.b, bfs_left - 1)
+            log.uniform_superstep(1.0 * alg.b * block_words / cur_p)
+        else:
+            steps.append("dfs")
+            # b sequential subproblems on the full group; local adds only.
+            before = len(log.steps)
+            rec(cur_n // alg.n0, cur_p, bfs_left)
+            segment = log.steps[before:]
+            for _ in range(alg.b - 1):
+                for step in segment:
+                    log.superstep(step)
+
+    rec(n, P, t)
+    return CapsRun(
+        algorithm=alg.name,
+        n=n,
+        P=P,
+        local_memory=M,
+        steps=tuple(steps),
+        bandwidth_cost=log.bandwidth_cost(),
+        peak_memory_per_processor=peak,
+        n_supersteps=log.n_supersteps,
+    )

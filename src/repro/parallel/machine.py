@@ -1,0 +1,93 @@
+"""Distributed machine model (paper, "Machine model" for parallel runs).
+
+``P`` processors, each with a private local memory of ``M`` words; data
+moves between processors in messages.  Following the paper (and [2, 16]),
+the *bandwidth cost* counts words communicated along the critical path:
+words moved simultaneously by different processors count once.  We
+realise this with BSP-style supersteps: the cost of a superstep is the
+maximum over processors of words sent plus received in it, and the run's
+bandwidth cost is the sum over supersteps —
+:class:`CommunicationLog` does the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PartitionError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DistributedMachine", "CommunicationLog"]
+
+
+@dataclass(frozen=True)
+class DistributedMachine:
+    """``P`` processors with ``local_memory`` words each."""
+
+    n_processors: int
+    local_memory: int
+
+    def __post_init__(self):
+        check_positive_int(self.n_processors, "n_processors")
+        check_positive_int(self.local_memory, "local_memory")
+
+    @property
+    def total_memory(self) -> int:
+        return self.n_processors * self.local_memory
+
+
+class CommunicationLog:
+    """Superstep-based bandwidth accounting.
+
+    Usage::
+
+        log = CommunicationLog(P)
+        log.superstep({0: (sent0, recv0), 3: (sent3, recv3)})
+        ...
+        log.bandwidth_cost()   # sum over supersteps of max_p (sent+recv)
+    """
+
+    def __init__(self, n_processors: int):
+        check_positive_int(n_processors, "n_processors")
+        self.n_processors = n_processors
+        #: per-superstep dict proc -> (sent, recv)
+        self.steps: list[dict[int, tuple[int, int]]] = []
+
+    def superstep(self, traffic: dict[int, tuple[int, int]]) -> None:
+        """Record one superstep.  ``traffic[p] = (sent, recv)`` in words;
+        processors absent from the dict were silent."""
+        for p, (sent, recv) in traffic.items():
+            if not 0 <= p < self.n_processors:
+                raise PartitionError(f"processor {p} out of range")
+            if sent < 0 or recv < 0:
+                raise PartitionError("negative word counts")
+        self.steps.append(dict(traffic))
+
+    def uniform_superstep(self, words_per_processor: float) -> None:
+        """Every processor sends and receives ``words_per_processor``."""
+        if words_per_processor < 0:
+            raise PartitionError("negative word counts")
+        w = int(round(words_per_processor))
+        self.superstep(
+            {p: (w, w) for p in range(self.n_processors)}
+        )
+
+    def bandwidth_cost(self) -> int:
+        """Words on the critical path: per superstep, the busiest
+        processor's sent+received; summed over supersteps."""
+        total = 0
+        for step in self.steps:
+            if step:
+                total += max(sent + recv for sent, recv in step.values())
+        return total
+
+    def total_volume(self) -> int:
+        """Total words sent across all processors and supersteps (the
+        *volume*, for contrast with the critical-path cost)."""
+        return sum(
+            sent for step in self.steps for sent, _ in step.values()
+        )
+
+    @property
+    def n_supersteps(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,60 @@
+"""Pebble-game / two-level cache machinery.
+
+- :mod:`repro.pebbling.machine`: the machine model (paper Section 1);
+- :mod:`repro.pebbling.cache`: eviction policies (LRU, FIFO, Belady);
+- :mod:`repro.pebbling.executor`: I/O counting for a schedule;
+- :mod:`repro.pebbling.pebble_game`: strict red-blue pebble game [10];
+- :mod:`repro.pebbling.segments`: the paper's segment-counting argument
+  (Definition 1, Equations 1-2) measured on real executions.
+"""
+
+from repro.pebbling.machine import MachineModel, min_cache_size
+from repro.pebbling.cache import (
+    EvictionPolicy,
+    LRUPolicy,
+    FIFOPolicy,
+    BeladyPolicy,
+    make_policy,
+)
+from repro.pebbling.executor import IOResult, CacheExecutor, simulate_io
+from repro.pebbling.pebble_game import (
+    Move,
+    MoveKind,
+    PebbleGame,
+    trace_from_executor,
+)
+from repro.pebbling.segments import (
+    boundary_sets,
+    meta_boundary,
+    counted_mask_section5,
+    counted_mask_section6,
+    partition_schedule,
+    SegmentRecord,
+    SegmentAnalysis,
+    paper_k,
+)
+
+__all__ = [
+    "MachineModel",
+    "min_cache_size",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "BeladyPolicy",
+    "make_policy",
+    "IOResult",
+    "CacheExecutor",
+    "simulate_io",
+    "Move",
+    "MoveKind",
+    "PebbleGame",
+    "trace_from_executor",
+    "boundary_sets",
+    "meta_boundary",
+    "counted_mask_section5",
+    "counted_mask_section6",
+    "partition_schedule",
+    "SegmentRecord",
+    "SegmentAnalysis",
+    "paper_k",
+]

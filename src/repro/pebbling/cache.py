@@ -1,0 +1,159 @@
+"""Eviction policies for the cache executor.
+
+A policy chooses which cached value to evict when room is needed.  The
+executor supplies the candidate set (cached values minus the pinned
+working set) and bookkeeping hooks; policies are small stateful objects.
+
+Provided policies:
+
+- :class:`LRUPolicy` — least recently used (the practical default);
+- :class:`FIFOPolicy` — first in, first out (a weaker baseline);
+- :class:`BeladyPolicy` — evict the value whose next use is furthest in
+  the future (offline MIN; optimal for read misses, the standard proxy
+  for the model's "minimum over I/O placements given the compute order").
+
+All policies are deterministic so experiment runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.errors import CacheError
+
+__all__ = ["EvictionPolicy", "LRUPolicy", "FIFOPolicy", "BeladyPolicy", "make_policy"]
+
+_INF = float("inf")
+
+
+class EvictionPolicy:
+    """Interface: the executor calls the hooks in schedule order."""
+
+    def on_insert(self, v: int, time: int) -> None:
+        """Value ``v`` entered the cache at logical time ``time``."""
+        raise NotImplementedError
+
+    def on_use(self, v: int, time: int) -> None:
+        """Value ``v`` was used (read as an operand) at ``time``."""
+        raise NotImplementedError
+
+    def on_evict(self, v: int) -> None:
+        """Value ``v`` left the cache."""
+
+    def choose_victim(self, candidates: set[int]) -> int:
+        """Pick one of ``candidates`` to evict (all currently cached)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the candidate least recently inserted-or-used."""
+
+    def __init__(self):
+        self.last_touch: dict[int, int] = {}
+
+    def on_insert(self, v: int, time: int) -> None:
+        self.last_touch[v] = time
+
+    def on_use(self, v: int, time: int) -> None:
+        self.last_touch[v] = time
+
+    def on_evict(self, v: int) -> None:
+        self.last_touch.pop(v, None)
+
+    def choose_victim(self, candidates: set[int]) -> int:
+        # Deterministic: break timestamp ties by vertex id.
+        return min(candidates, key=lambda v: (self.last_touch[v], v))
+
+
+class FIFOPolicy(EvictionPolicy):
+    """Evict the candidate inserted earliest (uses don't refresh)."""
+
+    def __init__(self):
+        self.inserted_at: dict[int, int] = {}
+
+    def on_insert(self, v: int, time: int) -> None:
+        self.inserted_at[v] = time
+
+    def on_use(self, v: int, time: int) -> None:  # uses don't matter
+        pass
+
+    def on_evict(self, v: int) -> None:
+        self.inserted_at.pop(v, None)
+
+    def choose_victim(self, candidates: set[int]) -> int:
+        return min(candidates, key=lambda v: (self.inserted_at[v], v))
+
+
+class BeladyPolicy(EvictionPolicy):
+    """Offline MIN: evict the candidate whose next use is furthest away.
+
+    Requires the full future use schedule: ``use_times[v]`` is the sorted
+    list of logical times at which ``v`` will be used as an operand.
+    Implemented with a lazy max-heap keyed by next-use time.
+    """
+
+    def __init__(self, use_times: dict[int, list[int]]):
+        self.use_times = use_times
+        self.cursor: dict[int, int] = {}
+        # Max-heap entries: (-next_use, v).  Entries go stale when a use
+        # passes; staleness is detected against _next_use() on pop.
+        self.heap: list[tuple[float, int]] = []
+        self.cached: set[int] = set()
+
+    def _next_use(self, v: int, after: int) -> float:
+        """Earliest use of ``v`` strictly after time ``after``."""
+        times = self.use_times.get(v, [])
+        i = self.cursor.get(v, 0)
+        while i < len(times) and times[i] <= after:
+            i += 1
+        self.cursor[v] = i
+        return times[i] if i < len(times) else _INF
+
+    def on_insert(self, v: int, time: int) -> None:
+        self.cached.add(v)
+        nxt = self._next_use(v, time)
+        heapq.heappush(self.heap, (-nxt, v))
+
+    def on_use(self, v: int, time: int) -> None:
+        nxt = self._next_use(v, time)
+        heapq.heappush(self.heap, (-nxt, v))
+
+    def on_evict(self, v: int) -> None:
+        self.cached.discard(v)
+
+    def choose_victim(self, candidates: set[int]) -> int:
+        while self.heap:
+            neg_next, v = self.heap[0]
+            if v not in candidates:
+                heapq.heappop(self.heap)
+                continue
+            # Validate freshness: the stored key must match the current
+            # next use (cursor may have advanced past it).
+            times = self.use_times.get(v, [])
+            i = self.cursor.get(v, 0)
+            current = times[i] if i < len(times) else _INF
+            if -neg_next != current:
+                heapq.heappop(self.heap)
+                heapq.heappush(self.heap, (-current, v))
+                continue
+            return v
+        # Fallback: heap exhausted (candidates never re-pushed) — all
+        # remaining candidates are never used again; pick deterministic.
+        if candidates:
+            return min(candidates)
+        raise CacheError("no eviction candidate available")
+
+
+def make_policy(name: str, use_times: dict[int, list[int]] | None = None) -> EvictionPolicy:
+    """Factory: ``"lru"``, ``"fifo"``, or ``"belady"`` (the latter needs
+    ``use_times`` — the executor supplies them)."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "belady":
+        if use_times is None:
+            raise CacheError("belady policy requires use_times")
+        return BeladyPolicy(use_times)
+    raise CacheError(f"unknown eviction policy {name!r}")

@@ -1,0 +1,252 @@
+"""Schedule executor: counts I/Os of a compute order under the paper's
+two-level machine model.
+
+Given a CDAG, a *schedule* (the computed vertices in execution order) and
+a cache size ``M``, the executor simulates the machine:
+
+- computing vertex ``v`` first loads any predecessor not in cache (one
+  read I/O each — values already stored to slow memory are re-read, input
+  values are read for the first time);
+- evictions happen on demand, chosen by an
+  :class:`~repro.pebbling.cache.EvictionPolicy`; evicting a *dirty* value
+  (computed but never stored) that is still live — it has remaining uses
+  or is an unfinished output — costs one write I/O; evicting a clean or
+  dead value is free;
+- at the end every output must reside in slow memory (final writes).
+
+The predecessors of the current computation plus its result are pinned
+and never evicted mid-step (hence ``M >= max_indegree + 1``).
+
+The I/O-complexity of the *algorithm* is the minimum over schedules and
+I/O placements; the executor provides the measurable upper side: the
+paper's Theorem 1 lower bound must sit below every
+``(schedule, policy)`` measurement, and the recursive schedule's
+measurement should track the matching upper bound (experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdag.graph import CDAG
+from repro.errors import CacheError, ScheduleError
+from repro.pebbling.cache import make_policy
+from repro.pebbling.machine import MachineModel
+
+__all__ = ["IOResult", "CacheExecutor", "simulate_io"]
+
+
+@dataclass(frozen=True)
+class IOResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    reads / writes:
+        Load and store I/O counts (``total = reads + writes``).
+    input_reads:
+        Subset of ``reads`` that loaded original inputs.
+    spill_writes / spill_reads:
+        Writes of intermediate values forced out of cache, and the reads
+        that brought them back — the communication the blocking structure
+        of a schedule controls.
+    output_writes:
+        Final stores of output values.
+    peak_cache:
+        Maximum number of cached values observed.
+    """
+
+    cache_size: int
+    policy: str
+    reads: int
+    writes: int
+    input_reads: int
+    spill_reads: int
+    spill_writes: int
+    output_writes: int
+    peak_cache: int
+
+    @property
+    def total(self) -> int:
+        """Total I/O (reads + writes) — the paper's cost measure."""
+        return self.reads + self.writes
+
+
+class CacheExecutor:
+    """Reusable executor for one CDAG (precomputes use lists once)."""
+
+    def __init__(self, cdag: CDAG):
+        self.cdag = cdag
+        self.is_output = np.zeros(cdag.n_vertices, dtype=bool)
+        self.is_output[cdag.outputs()] = True
+        self.is_input = cdag.in_degree() == 0
+
+    # ------------------------------------------------------------------
+
+    def validate_schedule(self, schedule: np.ndarray) -> np.ndarray:
+        """Check the schedule is a topological permutation of the
+        non-input vertices; returns it as an int64 array."""
+        schedule = np.asarray(schedule, dtype=np.int64)
+        computed_expected = np.nonzero(~self.is_input)[0]
+        if len(schedule) != len(computed_expected):
+            raise ScheduleError(
+                f"schedule has {len(schedule)} entries; CDAG has "
+                f"{len(computed_expected)} computable vertices"
+            )
+        seen = np.zeros(self.cdag.n_vertices, dtype=bool)
+        seen[np.nonzero(self.is_input)[0]] = True
+        for v in schedule.tolist():
+            if not 0 <= v < self.cdag.n_vertices:
+                raise ScheduleError(f"vertex {v} out of range")
+            if seen[v]:
+                raise ScheduleError(f"vertex {v} scheduled twice (or is an input)")
+            for p in self.cdag.predecessors(v):
+                if not seen[p]:
+                    raise ScheduleError(
+                        f"vertex {v} scheduled before its predecessor {int(p)}"
+                    )
+            seen[v] = True
+        return schedule
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        schedule,
+        cache_size: int,
+        policy: str = "lru",
+        validate: bool = True,
+        machine: MachineModel | None = None,
+        io_trace: list[int] | None = None,
+    ) -> IOResult:
+        """Execute ``schedule`` with the given cache size and policy.
+
+        When ``io_trace`` is a list, the cumulative I/O count after each
+        scheduled computation is appended to it (one entry per schedule
+        step) — used by the Hong-Kung partition machinery to cut
+        executions every ``2M`` I/Os.
+        """
+        cdag = self.cdag
+        machine = machine or MachineModel(cache_size=cache_size)
+        machine.check_executable(cdag)
+        if machine.cache_size != cache_size:
+            raise CacheError("machine.cache_size disagrees with cache_size")
+        schedule = (
+            self.validate_schedule(schedule)
+            if validate
+            else np.asarray(schedule, dtype=np.int64)
+        )
+
+        # Remaining-use counts: how many scheduled computations still
+        # need each value as an operand.
+        uses_left = np.zeros(cdag.n_vertices, dtype=np.int64)
+        use_times: dict[int, list[int]] = {}
+        for t, v in enumerate(schedule.tolist()):
+            for p in cdag.predecessors(v).tolist():
+                uses_left[p] += 1
+                use_times.setdefault(p, []).append(t)
+
+        pol = make_policy(policy, use_times=use_times)
+
+        cached: set[int] = set()
+        dirty: set[int] = set()      # computed, not yet in slow memory
+        in_slow: set[int] = set(np.nonzero(self.is_input)[0].tolist())
+        output_written: set[int] = set()
+
+        reads = writes = input_reads = spill_reads = spill_writes = 0
+        output_writes = 0
+        peak = 0
+
+        def evict(candidates: set[int]) -> None:
+            nonlocal writes, spill_writes, output_writes
+            victim = pol.choose_victim(candidates)
+            cached.discard(victim)
+            pol.on_evict(victim)
+            if victim in dirty:
+                live = uses_left[victim] > 0
+                is_out = bool(self.is_output[victim])
+                if live or (is_out and victim not in output_written):
+                    writes += 1
+                    in_slow.add(victim)
+                    if is_out:
+                        output_writes += 1
+                        output_written.add(victim)
+                    else:
+                        spill_writes += 1
+                dirty.discard(victim)
+
+        for t, v in enumerate(schedule.tolist()):
+            preds = cdag.predecessors(v).tolist()
+            pinned = set(preds) | {v}
+            # Load missing operands.
+            for p in preds:
+                if p not in cached:
+                    if p not in in_slow:  # pragma: no cover - guarded by validate
+                        raise ScheduleError(
+                            f"operand {p} of {v} is neither cached nor in "
+                            "slow memory"
+                        )
+                    while len(cached) >= cache_size:
+                        evict(cached - pinned)
+                    cached.add(p)
+                    pol.on_insert(p, t)
+                    reads += 1
+                    if self.is_input[p]:
+                        input_reads += 1
+                    else:
+                        spill_reads += 1
+                else:
+                    pol.on_use(p, t)
+            # Make room for the result and compute.
+            while len(cached) >= cache_size:
+                evict(cached - pinned)
+            cached.add(v)
+            dirty.add(v)
+            pol.on_insert(v, t)
+            peak = max(peak, len(cached))
+            # Operands were "used" at time t — refresh recency.
+            for p in preds:
+                pol.on_use(p, t)
+            for p in preds:
+                uses_left[p] -= 1
+            if io_trace is not None:
+                io_trace.append(reads + writes)
+
+        # Drain: outputs still dirty must reach slow memory.
+        for v in sorted(dirty):
+            if self.is_output[v] and v not in output_written:
+                writes += 1
+                output_writes += 1
+                output_written.add(v)
+
+        if not machine.count_input_reads:
+            reads -= input_reads
+        if not machine.count_output_writes:
+            writes -= output_writes
+
+        return IOResult(
+            cache_size=cache_size,
+            policy=policy,
+            reads=reads,
+            writes=writes,
+            input_reads=input_reads if machine.count_input_reads else 0,
+            spill_reads=spill_reads,
+            spill_writes=spill_writes,
+            output_writes=output_writes if machine.count_output_writes else 0,
+            peak_cache=peak,
+        )
+
+
+def simulate_io(
+    cdag: CDAG,
+    schedule,
+    cache_size: int,
+    policy: str = "lru",
+    validate: bool = True,
+) -> IOResult:
+    """One-shot convenience wrapper around :class:`CacheExecutor`."""
+    return CacheExecutor(cdag).run(
+        schedule, cache_size=cache_size, policy=policy, validate=validate
+    )

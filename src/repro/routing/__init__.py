@@ -1,0 +1,71 @@
+"""Path routings — the paper's contribution, machine-checkable.
+
+Pipeline: :mod:`guaranteed` (the dependence pairs) -> :mod:`hall` (the
+Theorem-3 matching, justified by Lemma 5/Winograd) -> :mod:`lemma3`
+(chains for all guaranteed dependencies, Claim 2 lifting) ->
+:mod:`lemma4` (concatenation covering all input-output pairs) ->
+:mod:`theorem2` (the verified ``6 a^k`` certificate).  :mod:`claim1`
+implements the simpler Section-5 decoder routing; :mod:`boundary`
+measures the boundary-crossing counts the I/O argument hinges on.
+"""
+
+from repro.routing.paths import Routing, concatenate_paths
+from repro.routing.guaranteed import (
+    guaranteed_dependencies,
+    is_guaranteed_dependence,
+    count_guaranteed_dependencies,
+    input_row_col,
+    output_row_col,
+)
+from repro.routing.hall import (
+    base_dependencies,
+    hall_graph,
+    base_matching,
+    check_hall_condition,
+)
+from repro.routing.lemma3 import dependency_chain, lemma3_routing
+from repro.routing.lemma4 import lemma4_routing, chain_usage_counts
+from repro.routing.claim1 import claim1_routing, claim1_bound, decoder_local_paths
+from repro.routing.theorem2 import (
+    theorem2_bound,
+    theorem2_routing,
+    theorem2_certificate,
+    Theorem2Certificate,
+)
+from repro.routing.verify import RoutingReport, verify_path, verify_routing
+from repro.routing.boundary import (
+    BoundaryCount,
+    count_boundary_crossings,
+    crossing_delta_vertices,
+)
+
+__all__ = [
+    "Routing",
+    "concatenate_paths",
+    "guaranteed_dependencies",
+    "is_guaranteed_dependence",
+    "count_guaranteed_dependencies",
+    "input_row_col",
+    "output_row_col",
+    "base_dependencies",
+    "hall_graph",
+    "base_matching",
+    "check_hall_condition",
+    "dependency_chain",
+    "lemma3_routing",
+    "lemma4_routing",
+    "chain_usage_counts",
+    "claim1_routing",
+    "claim1_bound",
+    "decoder_local_paths",
+    "theorem2_bound",
+    "theorem2_routing",
+    "theorem2_certificate",
+    "Theorem2Certificate",
+    "RoutingReport",
+    "verify_path",
+    "verify_routing",
+    "BoundaryCount",
+    "count_boundary_crossings",
+    "crossing_delta_vertices",
+]

@@ -1,0 +1,147 @@
+"""Claim 1 (Section 5): the ``(11 * 7^k)``-routing inside Strassen's
+decoding graph — generalised to any base with a *connected* decoder.
+
+Between every product (input of ``D_k``) and every output there is a
+path obtained from the "ideal chain" — the one that would exist were
+``D_1`` complete bipartite — by replacing each missing edge with a
+zig-zag *inside the same ``D_1`` copy* (Figure 3): an alternating
+bottom/top walk in the bipartite support of ``W``.
+
+The resulting routing hits every vertex at most ``(a + b) * b^k`` times
+(for Strassen: ``11 * 7^k``); the measured maximum is far smaller and is
+reported by experiment E3.
+
+For base graphs with a *disconnected* decoder the construction is
+impossible (no path within some ``D_1`` copy); :func:`claim1_routing`
+raises :class:`~repro.errors.RoutingError`, which is precisely the
+failure mode motivating Section 6 — and experiment E12's contrast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.bilinear.algorithm import BilinearAlgorithm
+from repro.cdag.graph import CDAG, Region
+from repro.errors import RoutingError
+from repro.routing.paths import Routing
+from repro.utils.indexing import MixedRadix
+
+__all__ = ["claim1_routing", "claim1_bound", "decoder_local_paths"]
+
+
+def claim1_bound(alg: BilinearAlgorithm, k: int) -> int:
+    """The claimed hit bound ``|V(D_1)| * b^k = (a + b) * b^k``."""
+    return (alg.a + alg.b) * alg.b**k
+
+
+def decoder_local_paths(alg: BilinearAlgorithm) -> dict[tuple[int, int], list[int]]:
+    """Shortest alternating walks in ``D_1`` from each product ``m`` to
+    each output ``e``.
+
+    Vertices of the walk alternate bottom (products, encoded ``("m", x)``)
+    and top (outputs, ``("e", x)``); returned as flat lists
+    ``[("m", m0), ("e", e0), ("m", m1), ...]`` encoded as signed ints:
+    products as ``m`` (0-based), outputs as ``-(e + 1)``.
+
+    Raises
+    ------
+    RoutingError
+        If ``D_1`` is disconnected (some pair unreachable).
+    """
+    a, b = alg.a, alg.b
+    support = alg.W != 0  # (e, m)
+    # BFS over the bipartite graph from every product.
+    paths: dict[tuple[int, int], list[int]] = {}
+    for m0 in range(b):
+        # parent pointers; nodes: ('m', m) and ('e', e)
+        parent: dict[tuple[str, int], tuple[str, int] | None] = {("m", m0): None}
+        queue: deque[tuple[str, int]] = deque([("m", m0)])
+        while queue:
+            kind, x = queue.popleft()
+            if kind == "m":
+                for e in np.nonzero(support[:, x])[0].tolist():
+                    if ("e", e) not in parent:
+                        parent[("e", e)] = (kind, x)
+                        queue.append(("e", e))
+            else:
+                for m in np.nonzero(support[x, :])[0].tolist():
+                    if ("m", m) not in parent:
+                        parent[("m", m)] = (kind, x)
+                        queue.append(("m", m))
+        for e in range(a):
+            if ("e", e) not in parent:
+                raise RoutingError(
+                    f"decoder of {alg.name!r} is disconnected: no path "
+                    f"from product {m0} to output {e} within D_1 — "
+                    "Claim 1 does not apply (use the Theorem 2 routing)"
+                )
+            walk: list[int] = []
+            node: tuple[str, int] | None = ("e", e)
+            while node is not None:
+                kind, x = node
+                walk.append(x if kind == "m" else -(x + 1))
+                node = parent[node]
+            walk.reverse()
+            paths[(m0, e)] = walk
+    return paths
+
+
+def claim1_routing(cdag: CDAG, k: int | None = None) -> Routing:
+    """The Section-5 routing between products and outputs of ``D_k``.
+
+    Operates on the decoder of ``cdag`` (which must have ``r == k``; pass
+    a standalone ``G_k``).  Path for (product ``(m_1..m_k)``, output
+    ``(e_1..e_k)``): descend decoding ranks; the step into rank ``j``
+    should move to entry digit ``e_{k-j+1}`` — when ``W`` lacks the
+    direct edge, splice the precomputed ``D_1`` zig-zag, whose
+    intermediate vertices alternate between rank ``j-1`` (varying the
+    multiplication digit) and rank ``j`` (varying the entry digit) inside
+    the same copy.
+    """
+    alg = cdag.alg
+    k = cdag.r if k is None else k
+    if k != cdag.r:
+        raise RoutingError("pass a standalone G_k (cdag.r == k)")
+    local = decoder_local_paths(alg)
+    a, b = alg.a, alg.b
+
+    routing = Routing(cdag, label=f"claim1 k={k}")
+
+    products = cdag.products()
+    outputs = cdag.outputs()
+    prod_radix = MixedRadix([b] * k)
+    out_radix = MixedRadix([a] * k)
+
+    for p_idx in range(len(products)):
+        m_digits = prod_radix.unpack(p_idx)
+        for o_idx in range(len(outputs)):
+            e_digits = out_radix.unpack(o_idx)
+            path: list[int] = [int(products[p_idx])]
+            for j in range(1, k + 1):
+                # Move from rank j-1 vertex (m_1..m_{k-j+1}, e_{k-j+2}..)
+                # to rank j vertex (m_1..m_{k-j}, e_{k-j+1}, ...).
+                head = m_digits[: k - j]
+                tail = e_digits[k - j + 1 :]
+                m_cur = m_digits[k - j]
+                e_target = e_digits[k - j]
+                walk = local[(m_cur, e_target)]
+                # walk starts at product m_cur (== current vertex's digit)
+                # and ends at output e_target; intermediate hops embed at
+                # ranks j-1 (bottom nodes) / j (top nodes) of this copy.
+                for node in walk[1:]:
+                    if node >= 0:  # bottom: multiplication digit
+                        digits = head + (node,) + tail
+                        path.append(
+                            cdag.vertex_id(Region.DEC, j - 1, digits)
+                        )
+                    else:  # top: entry digit
+                        e_val = -node - 1
+                        digits = head + (e_val,) + tail
+                        path.append(cdag.vertex_id(Region.DEC, j, digits))
+            routing.add(
+                path, source=int(products[p_idx]), target=int(outputs[o_idx])
+            )
+    return routing

@@ -1,0 +1,102 @@
+"""Guaranteed dependencies (paper, Section 7).
+
+An input-output pair ``(v, w)`` is a *guaranteed dependence* when every
+correct matrix-multiplication algorithm must contain a chain from ``v``
+to ``w``: for ``v = a_ij`` and ``w = c_i'j'`` exactly when ``i = i'``,
+and for ``v = b_ij`` exactly when ``j = j'``.
+
+In tuple coordinates this decomposes digit-wise: the global row of an
+``A``-input matches the global row of an output iff the per-level row
+digits all match — which is what makes Claim 2's recursive lifting work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.cdag.graph import CDAG, Region
+from repro.utils.indexing import pair_unindex
+
+__all__ = [
+    "input_row_col",
+    "output_row_col",
+    "guaranteed_dependencies",
+    "is_guaranteed_dependence",
+    "count_guaranteed_dependencies",
+]
+
+
+def _digits_row_col(digits: tuple[int, ...], n0: int) -> tuple[int, int]:
+    """Global (row, col) of an entry-tuple, most significant digit
+    first."""
+    row = col = 0
+    for e in digits:
+        r, c = pair_unindex(e, n0)
+        row = row * n0 + r
+        col = col * n0 + c
+    return row, col
+
+
+def input_row_col(cdag: CDAG, v: int) -> tuple[str, int, int]:
+    """``(side, row, col)`` of an input vertex."""
+    region, local_rank, digits = cdag.vertex_digits(v)
+    if local_rank != 0 or region == Region.DEC:
+        raise ValueError(f"vertex {v} is not an input")
+    side = "A" if region == Region.ENC_A else "B"
+    row, col = _digits_row_col(digits, cdag.alg.n0)
+    return side, row, col
+
+
+def output_row_col(cdag: CDAG, w: int) -> tuple[int, int]:
+    """``(row, col)`` of an output vertex."""
+    region, local_rank, digits = cdag.vertex_digits(w)
+    if region != Region.DEC or local_rank != cdag.r:
+        raise ValueError(f"vertex {w} is not an output")
+    return _digits_row_col(digits, cdag.alg.n0)
+
+
+def is_guaranteed_dependence(cdag: CDAG, v: int, w: int) -> bool:
+    """Whether ``(v, w)`` is a guaranteed input-output dependence."""
+    side, row, col = input_row_col(cdag, v)
+    out_row, out_col = output_row_col(cdag, w)
+    return row == out_row if side == "A" else col == out_col
+
+
+def guaranteed_dependencies(
+    cdag: CDAG, side: str | None = None
+) -> Iterator[tuple[int, int]]:
+    """Yield all guaranteed dependencies ``(input, output)``.
+
+    ``side`` restricts to ``"A"`` or ``"B"``.  There are ``n0^(3r)``
+    pairs per side: one per (row, col, output-col) for A, per
+    (row, col, output-row) for B.
+    """
+    n = cdag.alg.n0**cdag.r
+    sides = ("A", "B") if side is None else (side,)
+    inputs_by_rc: dict[tuple[str, int, int], int] = {}
+    for s in sides:
+        for v in cdag.inputs(s).tolist():
+            _, row, col = input_row_col(cdag, v)
+            inputs_by_rc[(s, row, col)] = v
+    outputs_by_rc: dict[tuple[int, int], int] = {}
+    for w in cdag.outputs().tolist():
+        outputs_by_rc[output_row_col(cdag, w)] = w
+
+    for s in sides:
+        for row in range(n):
+            for col in range(n):
+                v = inputs_by_rc[(s, row, col)]
+                if s == "A":
+                    for out_col in range(n):
+                        yield v, outputs_by_rc[(row, out_col)]
+                else:
+                    for out_row in range(n):
+                        yield v, outputs_by_rc[(out_row, col)]
+
+
+def count_guaranteed_dependencies(cdag: CDAG, side: str | None = None) -> int:
+    """``n0^(3r)`` per side."""
+    per_side = cdag.alg.n0 ** (3 * cdag.r)
+    return per_side * (2 if side is None else 1)

@@ -1,0 +1,105 @@
+"""Lemma 3: a ``2 n0^k``-routing of all guaranteed dependencies in G_k.
+
+Construction (paper Section 7.2 + Claim 2):
+
+1. For each side, compute the base matching (one multiplication per
+   base-level dependency, load <= n0 — :mod:`repro.routing.hall`).
+2. Lift recursively (Claim 2 / Figure 7): a dependence between input
+   tuple ``(ea_1 .. ea_k)`` and output tuple ``(ec_1 .. ec_k)`` (rows
+   matching digit-wise) is routed through the multiplication tuple
+   ``m_i = matching[(ea_i, ec_i)]``; its *chain* climbs the encoder
+
+       (ea_1..ea_k) -> (m_1, ea_2..) -> ... -> (m_1..m_k)
+
+   crosses the product vertex, and descends the decoder
+
+       (m_1..m_k) -> (m_1..m_{k-1}, ec_k) -> ... -> (ec_1..ec_k).
+
+   Every encoder edge exists because ``E[m_i, ea_i] != 0`` and every
+   decoder edge because ``W[ec_i, m_i] != 0`` — exactly the Hall-graph
+   adjacency.
+
+The per-side routing uses each vertex at most ``n0^k`` times; decoder
+vertices are shared by both sides, giving the ``2 n0^k`` bound.  All of
+this is *verified* (not assumed) by the tests and experiment E6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.graph import CDAG, Region
+from repro.errors import RoutingError
+from repro.routing.guaranteed import guaranteed_dependencies
+from repro.routing.hall import base_matching
+from repro.routing.paths import Routing
+from repro.utils.indexing import MixedRadix
+
+__all__ = ["dependency_chain", "lemma3_routing"]
+
+
+def dependency_chain(
+    cdag: CDAG,
+    v: int,
+    w: int,
+    matching: dict[tuple[int, int], int],
+) -> np.ndarray:
+    """The Claim-2 chain for one guaranteed dependence ``(v, w)``.
+
+    ``matching`` is the base matching for ``v``'s side.
+    """
+    region_in, rank_in, in_digits = cdag.vertex_digits(v)
+    region_out, rank_out, out_digits = cdag.vertex_digits(w)
+    if rank_in != 0 or region_in == Region.DEC:
+        raise RoutingError(f"{v} is not an input vertex")
+    if region_out != Region.DEC or rank_out != cdag.r:
+        raise RoutingError(f"{w} is not an output vertex")
+
+    r, a, b = cdag.r, cdag.a, cdag.b
+    try:
+        mults = tuple(
+            matching[(in_digits[i], out_digits[i])] for i in range(r)
+        )
+    except KeyError as exc:
+        raise RoutingError(
+            f"({v}, {w}) is not a guaranteed dependence on this side: "
+            f"no matching entry for level pair {exc}"
+        ) from None
+
+    chain: list[int] = [v]
+    # Encoder ascent.
+    for i in range(1, r + 1):
+        digits = mults[:i] + in_digits[i:]
+        chain.append(cdag.vertex_id(region_in, i, digits))
+    # Product vertex.
+    chain.append(cdag.vertex_id(Region.DEC, 0, mults))
+    # Decoder descent (decoding rank j fixes the last j entry digits).
+    for j in range(1, r + 1):
+        digits = mults[: r - j] + out_digits[r - j :]
+        chain.append(cdag.vertex_id(Region.DEC, j, digits))
+    return np.asarray(chain, dtype=np.int64)
+
+
+def lemma3_routing(
+    cdag: CDAG,
+    side: str | None = None,
+    matchings: dict[str, dict[tuple[int, int], int]] | None = None,
+) -> Routing:
+    """The ``2 n0^k``-routing for all guaranteed dependencies of ``G_k``
+    (``n0^k`` per side when ``side`` is restricted).
+
+    ``matchings`` may carry precomputed base matchings (keys "A"/"B").
+    """
+    alg = cdag.alg
+    sides = ("A", "B") if side is None else (side,)
+    matchings = matchings or {}
+    for s in sides:
+        if s not in matchings:
+            matchings[s] = base_matching(alg, s)
+
+    routing = Routing(cdag, label=f"lemma3[{'+'.join(sides)}] r={cdag.r}")
+    for s in sides:
+        match = matchings[s]
+        for v, w in guaranteed_dependencies(cdag, side=s):
+            routing.add(dependency_chain(cdag, v, w, match), source=v, target=w)
+    return routing

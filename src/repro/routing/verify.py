@@ -1,0 +1,124 @@
+"""Verification of routings: path validity and hit-count certificates.
+
+A routing certificate is only worth anything if machine-checked; this
+module confirms (a) every path is a genuine undirected walk of the CDAG,
+(b) endpoints match declarations, (c) the vertex- and meta-vertex-level
+hit maxima are within the claimed ``m`` — the content of Definition 2
+and the Routing Theorem's meta-vertex clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdag.graph import CDAG
+from repro.cdag.metavertex import MetaVertexPartition
+from repro.errors import RoutingError
+from repro.routing.paths import Routing
+
+__all__ = ["RoutingReport", "verify_path", "verify_routing"]
+
+
+def verify_path(cdag: CDAG, path: np.ndarray) -> None:
+    """Raise :class:`RoutingError` unless consecutive vertices are
+    adjacent in the CDAG (direction ignored)."""
+    path = np.asarray(path, dtype=np.int64)
+    for u, v in zip(path[:-1].tolist(), path[1:].tolist()):
+        if v not in cdag.predecessors(u) and u not in cdag.predecessors(v):
+            raise RoutingError(f"path step {u} -> {v} is not a CDAG edge")
+
+
+@dataclass(frozen=True)
+class RoutingReport:
+    """Outcome of :func:`verify_routing` (one row of E3/E4 reports)."""
+
+    label: str
+    n_paths: int
+    claimed_m: int
+    max_vertex_hits: int
+    max_meta_hits: int | None
+    total_length: int
+
+    @property
+    def within_bound(self) -> bool:
+        ok = self.max_vertex_hits <= self.claimed_m
+        if self.max_meta_hits is not None:
+            ok = ok and self.max_meta_hits <= self.claimed_m
+        return ok
+
+    @property
+    def slack(self) -> float:
+        """claimed / measured — how loose the paper's constant is."""
+        measured = max(
+            self.max_vertex_hits,
+            self.max_meta_hits or 0,
+        )
+        return self.claimed_m / measured if measured else float("inf")
+
+
+def verify_routing(
+    cdag: CDAG,
+    routing: Routing,
+    claimed_m: int,
+    meta: MetaVertexPartition | None = None,
+    expected_pairs: set[tuple[int, int]] | None = None,
+    check_paths: bool = True,
+) -> RoutingReport:
+    """Full certificate check.
+
+    Parameters
+    ----------
+    claimed_m:
+        The ``m`` of the claimed ``m``-routing (e.g. ``6 a^k``).
+    meta:
+        When given, also enforce the bound at meta-vertex granularity.
+    expected_pairs:
+        When given, the declared endpoint pairs must cover this set
+        exactly once each (the "|X||Y| paths, one per pair" clause).
+    check_paths:
+        Edge-by-edge validity check (O(total length); disable only in
+        benchmarks that verified the same construction before).
+
+    Raises on any violation; returns the measured report otherwise.
+    """
+    if check_paths:
+        for path, (src, dst) in zip(routing.paths, routing.endpoints):
+            if int(path[0]) != src or int(path[-1]) != dst:
+                raise RoutingError(
+                    f"path endpoints ({path[0]}, {path[-1]}) disagree with "
+                    f"declaration ({src}, {dst})"
+                )
+            verify_path(cdag, path)
+
+    if expected_pairs is not None:
+        declared = list(routing.endpoints)
+        if len(declared) != len(expected_pairs) or set(declared) != expected_pairs:
+            raise RoutingError(
+                f"routing declares {len(declared)} paths over "
+                f"{len(set(declared))} pairs; expected exactly "
+                f"{len(expected_pairs)} pairs"
+            )
+
+    max_hits = routing.max_vertex_hits()
+    if max_hits > claimed_m:
+        raise RoutingError(
+            f"vertex hit count {max_hits} exceeds claimed m={claimed_m}"
+        )
+    max_meta = None
+    if meta is not None:
+        max_meta = routing.max_meta_hits(meta)
+        if max_meta > claimed_m:
+            raise RoutingError(
+                f"meta-vertex hit count {max_meta} exceeds claimed "
+                f"m={claimed_m}"
+            )
+    return RoutingReport(
+        label=routing.label,
+        n_paths=len(routing),
+        claimed_m=claimed_m,
+        max_vertex_hits=max_hits,
+        max_meta_hits=max_meta,
+        total_length=routing.total_path_length(),
+    )

@@ -1,0 +1,15 @@
+"""Trace-driven cache simulation: loop-nest address generators and
+fully/set-associative LRU caches — the large-``n`` complement to the
+exact CDAG pebble-game executor."""
+
+from repro.tracesim.cache import CacheStats, FullyAssociativeLRU, SetAssociativeLRU
+from repro.tracesim.kernels import trace_ijk, trace_blocked, trace_strassen_recursive
+
+__all__ = [
+    "CacheStats",
+    "FullyAssociativeLRU",
+    "SetAssociativeLRU",
+    "trace_ijk",
+    "trace_blocked",
+    "trace_strassen_recursive",
+]

@@ -1,0 +1,149 @@
+"""Address-trace cache simulators.
+
+Complementing the CDAG pebble-game executor (which is exact but bounded
+by explicit graph sizes), these simulators consume *address traces* of
+loop-nest kernels (:mod:`repro.tracesim.kernels`) and so reach the
+large-``n`` regime of experiment E10 with realistic cache organisations:
+
+- :class:`FullyAssociativeLRU` — the theory-side model (matches the
+  machine model up to the write policy);
+- :class:`SetAssociativeLRU` — hardware-shaped (sets + ways + lines),
+  for the ablation of how much the idealised model under-counts.
+
+Counters distinguish hits, misses, and dirty evictions (write-backs), so
+``misses + writebacks`` mirrors the paper's read+write I/O measure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import CacheError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CacheStats", "FullyAssociativeLRU", "SetAssociativeLRU"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one simulated run."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def io(self) -> int:
+        """Reads from + writes to slow memory (the paper's measure, at
+        line granularity)."""
+        return self.misses + self.writebacks
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class FullyAssociativeLRU:
+    """Fully associative, write-back, write-allocate LRU cache.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Number of cache lines.
+    line_size:
+        Words per line; ``1`` reproduces the theoretical machine model
+        (every word its own transfer unit).
+    """
+
+    def __init__(self, capacity_lines: int, line_size: int = 1):
+        self.capacity = check_positive_int(capacity_lines, "capacity_lines")
+        self.line_size = check_positive_int(line_size, "line_size")
+        self._lines: OrderedDict[int, bool] = OrderedDict()  # line -> dirty
+        self.stats = CacheStats()
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Touch ``address``; returns True on hit."""
+        line = address // self.line_size
+        stats = self.stats
+        stats.accesses += 1
+        if line in self._lines:
+            stats.hits += 1
+            self._lines.move_to_end(line)
+            if is_write:
+                self._lines[line] = True
+            return True
+        stats.misses += 1
+        if len(self._lines) >= self.capacity:
+            _, dirty = self._lines.popitem(last=False)
+            if dirty:
+                stats.writebacks += 1
+        self._lines[line] = is_write
+        return False
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end of run)."""
+        for _, dirty in self._lines.items():
+            if dirty:
+                self.stats.writebacks += 1
+        self._lines.clear()
+
+    def run(self, trace) -> CacheStats:
+        """Consume an iterable of ``(address, is_write)`` pairs and
+        flush; returns the statistics."""
+        access = self.access
+        for address, is_write in trace:
+            access(address, is_write)
+        self.flush()
+        return self.stats
+
+
+class SetAssociativeLRU:
+    """Set-associative, write-back, write-allocate LRU cache."""
+
+    def __init__(self, n_sets: int, ways: int, line_size: int = 1):
+        self.n_sets = check_positive_int(n_sets, "n_sets")
+        self.ways = check_positive_int(ways, "ways")
+        self.line_size = check_positive_int(line_size, "line_size")
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.n_sets * self.ways
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        line = address // self.line_size
+        bucket = self._sets[line % self.n_sets]
+        stats = self.stats
+        stats.accesses += 1
+        if line in bucket:
+            stats.hits += 1
+            bucket.move_to_end(line)
+            if is_write:
+                bucket[line] = True
+            return True
+        stats.misses += 1
+        if len(bucket) >= self.ways:
+            _, dirty = bucket.popitem(last=False)
+            if dirty:
+                stats.writebacks += 1
+        bucket[line] = is_write
+        return False
+
+    def flush(self) -> None:
+        for bucket in self._sets:
+            for _, dirty in bucket.items():
+                if dirty:
+                    self.stats.writebacks += 1
+            bucket.clear()
+
+    def run(self, trace) -> CacheStats:
+        access = self.access
+        for address, is_write in trace:
+            access(address, is_write)
+        self.flush()
+        return self.stats

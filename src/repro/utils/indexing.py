@@ -1,0 +1,169 @@
+"""Mixed-radix index arithmetic.
+
+The CDAG of a Strassen-like algorithm names vertices by tuples of
+"digits": multiplication indices ``m_i`` in ``[0, b)`` and entry indices
+``e_j`` in ``[0, a)`` (see DESIGN.md section 4).  Packing those tuples into
+flat integers lets the graph live in contiguous numpy arrays instead of
+dictionaries of tuples, following the HPC guideline of keeping hot data in
+flat arrays.
+
+Digit order convention: digit 0 is the *most significant* digit
+everywhere in this module.  This matches the paper's recursion, where the
+level-1 (outermost) block index is the most significant part of a global
+row/column index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "digits_to_int",
+    "int_to_digits",
+    "MixedRadix",
+    "pack_tuple",
+    "unpack_tuple",
+    "pair_index",
+    "pair_unindex",
+]
+
+
+def digits_to_int(digits: Sequence[int], radix: int) -> int:
+    """Pack ``digits`` (most-significant first) in a uniform ``radix``.
+
+    >>> digits_to_int([1, 0, 2], 3)
+    11
+    """
+    value = 0
+    for d in digits:
+        if not 0 <= d < radix:
+            raise ValueError(f"digit {d} out of range for radix {radix}")
+        value = value * radix + d
+    return value
+
+
+def int_to_digits(value: int, radix: int, length: int) -> tuple[int, ...]:
+    """Inverse of :func:`digits_to_int`; returns ``length`` digits.
+
+    >>> int_to_digits(11, 3, 3)
+    (1, 0, 2)
+    """
+    if value < 0:
+        raise ValueError("value must be nonnegative")
+    out = [0] * length
+    for i in range(length - 1, -1, -1):
+        value, out[i] = divmod(value, radix)
+    if value:
+        raise ValueError("value does not fit in the requested digit count")
+    return tuple(out)
+
+
+class MixedRadix:
+    """A fixed mixed-radix system: tuple <-> integer bijection.
+
+    Parameters
+    ----------
+    radices:
+        Radix of each digit position, most significant first.
+
+    Examples
+    --------
+    >>> mr = MixedRadix([7, 7, 4])
+    >>> mr.size
+    196
+    >>> mr.pack((6, 0, 3))
+    171
+    >>> mr.unpack(171)
+    (6, 0, 3)
+    """
+
+    __slots__ = ("radices", "weights", "size")
+
+    def __init__(self, radices: Iterable[int]):
+        self.radices = tuple(int(r) for r in radices)
+        if any(r <= 0 for r in self.radices):
+            raise ValueError("all radices must be positive")
+        weights = []
+        w = 1
+        for r in reversed(self.radices):
+            weights.append(w)
+            w *= r
+        #: weight of each digit position, most significant first.
+        self.weights = tuple(reversed(weights))
+        #: total number of representable tuples.
+        self.size = w
+
+    def __len__(self) -> int:
+        return len(self.radices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MixedRadix({list(self.radices)})"
+
+    def pack(self, digits: Sequence[int]) -> int:
+        """Pack a digit tuple into its integer index."""
+        if len(digits) != len(self.radices):
+            raise ValueError(
+                f"expected {len(self.radices)} digits, got {len(digits)}"
+            )
+        value = 0
+        for d, r, w in zip(digits, self.radices, self.weights):
+            if not 0 <= d < r:
+                raise ValueError(f"digit {d} out of range for radix {r}")
+            value += d * w
+        return value
+
+    def unpack(self, value: int) -> tuple[int, ...]:
+        """Unpack an integer index into its digit tuple."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} out of range [0, {self.size})")
+        out = []
+        for r, w in zip(self.radices, self.weights):
+            d, value = divmod(value, w)
+            out.append(d)
+        return tuple(out)
+
+    def pack_array(self, digit_cols: Sequence[np.ndarray]) -> np.ndarray:
+        """Vectorised :meth:`pack`: one numpy column per digit position."""
+        if len(digit_cols) != len(self.radices):
+            raise ValueError("wrong number of digit columns")
+        value = np.zeros_like(np.asarray(digit_cols[0], dtype=np.int64))
+        for col, w in zip(digit_cols, self.weights):
+            value = value + np.asarray(col, dtype=np.int64) * w
+        return value
+
+    def unpack_array(self, values: np.ndarray) -> list[np.ndarray]:
+        """Vectorised :meth:`unpack`; returns one column per position."""
+        values = np.asarray(values, dtype=np.int64)
+        cols = []
+        for r, w in zip(self.radices, self.weights):
+            cols.append((values // w) % r)
+        return cols
+
+
+def pack_tuple(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """One-shot :meth:`MixedRadix.pack` without constructing the object."""
+    return MixedRadix(radices).pack(digits)
+
+
+def unpack_tuple(value: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """One-shot :meth:`MixedRadix.unpack`."""
+    return MixedRadix(radices).unpack(value)
+
+
+def pair_index(row: int, col: int, n: int) -> int:
+    """Index of matrix entry ``(row, col)`` in an ``n x n`` matrix,
+    row-major.  Matrix entries are the "entry digits" of CDAG vertex
+    names, so this is the bridge between ``(i, j)`` notation in the paper
+    and digit values in ``[0, n^2)``."""
+    if not (0 <= row < n and 0 <= col < n):
+        raise ValueError(f"entry ({row}, {col}) out of range for n={n}")
+    return row * n + col
+
+
+def pair_unindex(index: int, n: int) -> tuple[int, int]:
+    """Inverse of :func:`pair_index`."""
+    if not 0 <= index < n * n:
+        raise ValueError(f"index {index} out of range for n={n}")
+    return divmod(index, n)

@@ -1,0 +1,32 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic code in the library (random topological schedules, random
+test matrices, synthetic workloads) takes either a seed or a
+``numpy.random.Generator``; this helper normalises the two so results are
+reproducible by default and callers can share generator state when they
+want correlated streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "DEFAULT_SEED"]
+
+#: Seed used when the caller passes ``None`` explicitly asking for the
+#: library default.  Fixed so examples/benchmarks are reproducible.
+DEFAULT_SEED = 20150613  # SPAA'15 started June 13, 2015.
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    - ``None``: a generator seeded with :data:`DEFAULT_SEED`;
+    - an int: a fresh generator with that seed;
+    - a ``Generator``: returned unchanged (shared state).
+    """
+    if seed is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))

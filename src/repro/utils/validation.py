@@ -1,0 +1,69 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_in_range",
+    "check_power",
+]
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` as an int, requiring it to be a positive integer."""
+    ivalue = _as_int(value, name)
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return ivalue
+
+
+def check_nonnegative_int(value, name: str) -> int:
+    """Return ``value`` as an int, requiring it to be >= 0."""
+    ivalue = _as_int(value, name)
+    if ivalue < 0:
+        raise ValueError(f"{name} must be nonnegative, got {value}")
+    return ivalue
+
+
+def check_in_range(value, low, high, name: str) -> int:
+    """Return ``value`` as an int in the inclusive range ``[low, high]``."""
+    ivalue = _as_int(value, name)
+    if not low <= ivalue <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return ivalue
+
+
+def check_power(n, base, name: str) -> int:
+    """Require ``n == base**r`` for some integer ``r >= 0``; return ``r``.
+
+    Strassen-like recursion on ``n x n`` matrices requires ``n`` to be a
+    power of the base dimension ``n0`` (padding is a separate concern the
+    paper does not model).
+    """
+    n = check_positive_int(n, name)
+    base = check_positive_int(base, "base")
+    if base == 1:
+        if n != 1:
+            raise ValueError(f"{name}={n} is not a power of 1")
+        return 0
+    r = 0
+    m = n
+    while m > 1:
+        if m % base:
+            raise ValueError(f"{name}={n} is not a power of {base}")
+        m //= base
+        r += 1
+    return r
+
+
+def _as_int(value, name: str) -> int:
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+    if ivalue != value:
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    return ivalue

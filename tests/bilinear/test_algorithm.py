@@ -1,0 +1,184 @@
+"""Tests for the BilinearAlgorithm representation and Brent validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bilinear import (
+    BilinearAlgorithm,
+    classical,
+    matmul_tensor,
+    solve_decoder,
+    strassen,
+    winograd,
+)
+from repro.errors import AlgorithmError, BrentEquationError
+from repro.utils.rngs import make_rng
+
+
+class TestMatmulTensor:
+    def test_shape(self):
+        assert matmul_tensor(2).shape == (4, 4, 4)
+
+    def test_entry_count(self):
+        # The matmul tensor for n0 has exactly n0^3 ones.
+        for n0 in (1, 2, 3):
+            assert matmul_tensor(n0).sum() == n0**3
+
+    def test_specific_entries_n2(self):
+        T = matmul_tensor(2)
+        # c[0,0] += a[0,0] * b[0,0]: indices (0, 0, 0)
+        assert T[0, 0, 0] == 1
+        # c[0,0] += a[0,1] * b[1,0]: a index 1, b index 2, c index 0
+        assert T[1, 2, 0] == 1
+        # a[0,0] * b[1,0] contributes nowhere
+        assert not T[0, 2, :].any()
+
+    def test_invalid_n0(self):
+        with pytest.raises(ValueError):
+            matmul_tensor(0)
+
+
+class TestConstruction:
+    def test_shape_validation_u(self):
+        with pytest.raises(AlgorithmError):
+            BilinearAlgorithm(n0=2, U=np.zeros((7, 3)), V=np.zeros((7, 4)),
+                              W=np.zeros((4, 7)))
+
+    def test_shape_validation_v(self):
+        with pytest.raises(AlgorithmError):
+            BilinearAlgorithm(n0=2, U=np.zeros((7, 4)), V=np.zeros((6, 4)),
+                              W=np.zeros((4, 7)))
+
+    def test_shape_validation_w(self):
+        with pytest.raises(AlgorithmError):
+            BilinearAlgorithm(n0=2, U=np.zeros((7, 4)), V=np.zeros((7, 4)),
+                              W=np.zeros((4, 6)))
+
+    def test_empty_products_rejected(self):
+        with pytest.raises(AlgorithmError):
+            BilinearAlgorithm(n0=2, U=np.zeros((0, 4)), V=np.zeros((0, 4)),
+                              W=np.zeros((4, 0)))
+
+    def test_bad_n0_rejected(self):
+        with pytest.raises(AlgorithmError):
+            BilinearAlgorithm(n0=0, U=np.zeros((1, 0)), V=np.zeros((1, 0)),
+                              W=np.zeros((0, 1)))
+
+    def test_arrays_readonly(self):
+        alg = strassen()
+        with pytest.raises(ValueError):
+            alg.U[0, 0] = 5.0
+
+    def test_repr_contains_name(self):
+        assert "strassen" in repr(strassen())
+
+
+class TestParameters:
+    def test_strassen_parameters(self):
+        alg = strassen()
+        assert (alg.n0, alg.a, alg.b) == (2, 4, 7)
+        assert alg.omega0 == pytest.approx(np.log2(7))
+        assert alg.is_strassen_like
+
+    def test_classical_parameters(self):
+        alg = classical(3)
+        assert (alg.n0, alg.a, alg.b) == (3, 9, 27)
+        assert alg.omega0 == pytest.approx(3.0)
+        assert not alg.is_strassen_like
+
+
+class TestValidation:
+    def test_strassen_valid(self):
+        assert strassen().is_valid()
+
+    def test_corrupted_fails_with_location(self):
+        alg = strassen()
+        W = alg.W.copy()
+        W[0, 0] += 1
+        bad = BilinearAlgorithm(n0=2, U=alg.U, V=alg.V, W=W, name="bad")
+        assert not bad.is_valid()
+        with pytest.raises(BrentEquationError) as exc_info:
+            bad.validate()
+        assert exc_info.value.index is not None
+
+    def test_residual_zero_for_valid(self):
+        assert np.allclose(winograd().residual_tensor(), 0)
+
+
+class TestApplyBase:
+    @pytest.mark.parametrize("maker", [strassen, winograd, lambda: classical(2)])
+    def test_matches_numpy(self, maker):
+        alg = maker()
+        rng = make_rng(1)
+        A = rng.standard_normal((2, 2))
+        B = rng.standard_normal((2, 2))
+        np.testing.assert_allclose(alg.apply_base(A, B), A @ B, atol=1e-12)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(AlgorithmError):
+            strassen().apply_base(np.eye(3), np.eye(3))
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_brent_implies_numeric_property(self, seed):
+        """Any algorithm passing Brent validation computes A @ B."""
+        alg = strassen()
+        rng = make_rng(seed)
+        A = rng.standard_normal((2, 2)) * 10
+        B = rng.standard_normal((2, 2)) * 10
+        np.testing.assert_allclose(alg.apply_base(A, B), A @ B, atol=1e-9)
+
+
+class TestStructuralPredicates:
+    def test_strassen_trivial_rows(self):
+        alg = strassen()
+        # A-side: M3 uses A11 alone, M4 uses A22 alone.
+        assert list(np.nonzero(alg.trivial_rows("A"))[0]) == [2, 3]
+
+    def test_strassen_single_use(self):
+        assert strassen().satisfies_single_use()
+        assert strassen().single_use_violations("A") == []
+
+    def test_classical_single_use(self):
+        # Classical rows are all trivial, so no nontrivial duplicates.
+        assert classical(2).satisfies_single_use()
+
+    def test_classical_multiple_copying(self):
+        # Each a_ij is used alone in n0 products.
+        assert classical(2).has_multiple_copying()
+
+    def test_strassen_no_multiple_copying(self):
+        assert not strassen().has_multiple_copying()
+
+    def test_bad_side_raises(self):
+        with pytest.raises(ValueError):
+            strassen().trivial_rows("C")
+
+    def test_strassen_encoder_connected(self):
+        assert len(strassen().encoder_components("A")) == 1
+        assert len(strassen().encoder_components("B")) == 1
+
+    def test_strassen_decoder_connected(self):
+        assert len(strassen().decoder_components()) == 1
+
+    def test_classical_decoder_disconnected(self):
+        # One star per output entry.
+        assert len(classical(2).decoder_components()) == 4
+
+
+class TestSolveDecoder:
+    def test_recovers_strassen_decoder(self):
+        alg = strassen()
+        W = solve_decoder(2, alg.U, alg.V)
+        rebuilt = BilinearAlgorithm(n0=2, U=alg.U, V=alg.V, W=W)
+        assert rebuilt.is_valid()
+
+    def test_rejects_insufficient_products(self):
+        alg = strassen()
+        with pytest.raises(AlgorithmError):
+            solve_decoder(2, alg.U[:6], alg.V[:6])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AlgorithmError):
+            solve_decoder(2, np.zeros((7, 3)), np.zeros((7, 3)))

@@ -1,0 +1,126 @@
+"""Tests for tensor products and tensor-symmetry transforms."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear import (
+    classical,
+    laderman,
+    numeric_check,
+    strassen,
+    strassen_squared,
+    strassen_x_classical,
+    tensor_product,
+    winograd,
+)
+from repro.bilinear.compose import cyclic_rotation, tensor_power, transpose_dual
+
+
+class TestTensorProduct:
+    def test_parameters(self):
+        comp = tensor_product(strassen(), classical(2))
+        assert comp.n0 == 4
+        assert comp.b == 7 * 8
+
+    def test_valid(self):
+        assert tensor_product(strassen(), classical(2)).is_valid()
+
+    def test_numeric(self):
+        comp = tensor_product(strassen(), strassen())
+        assert numeric_check(comp, trials=3, seed=3) < 1e-9
+
+    def test_exponent_mixing(self):
+        comp = tensor_product(strassen(), classical(2))
+        # (n1*n2)^w = b1*b2
+        assert comp.omega0 == pytest.approx(np.log(56) / np.log(4))
+        assert comp.is_strassen_like
+
+    def test_asymmetric_orders_both_valid(self):
+        assert tensor_product(classical(2), strassen()).is_valid()
+
+    def test_different_sizes(self):
+        comp = tensor_product(strassen(), classical(3))
+        assert comp.n0 == 6
+        assert comp.b == 7 * 27
+        assert comp.is_valid()
+
+    def test_custom_name(self):
+        comp = tensor_product(strassen(), strassen(), name="foo")
+        assert comp.name == "foo"
+
+
+class TestTensorPower:
+    def test_power_one_is_same_maps(self):
+        alg = tensor_power(strassen(), 1)
+        np.testing.assert_array_equal(alg.U, strassen().U)
+
+    def test_power_two(self):
+        alg = tensor_power(strassen(), 2)
+        assert alg.n0 == 4
+        assert alg.b == 49
+        assert alg.omega0 == pytest.approx(strassen().omega0)
+
+    def test_power_zero_raises(self):
+        with pytest.raises(ValueError):
+            tensor_power(strassen(), 0)
+
+
+class TestNamedCompositions:
+    def test_strassen_x_classical_disconnected_decoder(self):
+        comp = strassen_x_classical()
+        assert comp.is_strassen_like
+        assert len(comp.decoder_components()) > 1
+
+    def test_strassen_x_classical_multiple_copying(self):
+        assert strassen_x_classical().has_multiple_copying()
+
+    def test_strassen_squared_connected(self):
+        comp = strassen_squared()
+        assert len(comp.decoder_components()) == 1
+        assert comp.omega0 == pytest.approx(np.log2(7))
+
+    def test_cached(self):
+        assert strassen_x_classical() is strassen_x_classical()
+
+
+class TestSymmetries:
+    @pytest.mark.parametrize(
+        "maker",
+        [strassen, winograd, lambda: classical(2), laderman],
+        ids=["strassen", "winograd", "classical2", "laderman"],
+    )
+    def test_cyclic_rotation_valid(self, maker):
+        assert cyclic_rotation(maker()).is_valid()
+
+    @pytest.mark.parametrize(
+        "maker",
+        [strassen, winograd, lambda: classical(2), laderman],
+        ids=["strassen", "winograd", "classical2", "laderman"],
+    )
+    def test_transpose_dual_valid(self, maker):
+        assert transpose_dual(maker()).is_valid()
+
+    def test_rotation_preserves_parameters(self):
+        rot = cyclic_rotation(strassen())
+        assert (rot.n0, rot.b) == (2, 7)
+
+    def test_rotation_changes_support(self):
+        rot = cyclic_rotation(strassen())
+        assert not np.array_equal(rot.U, strassen().U)
+
+    def test_triple_rotation_is_identity_algorithm(self):
+        """Rotating three times returns to an algorithm computing the
+        same function (coefficients may be permuted among products)."""
+        alg = strassen()
+        rot3 = cyclic_rotation(cyclic_rotation(cyclic_rotation(alg)))
+        assert rot3.is_valid()
+        np.testing.assert_allclose(rot3.U, alg.U)
+        np.testing.assert_allclose(rot3.V, alg.V)
+        np.testing.assert_allclose(rot3.W, alg.W)
+
+    def test_double_dual_is_identity(self):
+        alg = winograd()
+        dd = transpose_dual(transpose_dual(alg))
+        np.testing.assert_allclose(dd.U, alg.U)
+        np.testing.assert_allclose(dd.V, alg.V)
+        np.testing.assert_allclose(dd.W, alg.W)

@@ -1,0 +1,190 @@
+"""Tests for the de Groote sandwich transforms, random equivalents, the
+peeled-Strassen 3x3 catalog entry, and value-class computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bilinear import (
+    laderman,
+    numeric_check,
+    random_equivalent,
+    sandwich_transform,
+    strassen,
+    strassen_peeled,
+    winograd,
+)
+from repro.bilinear.synthetic import make_single_use, with_duplicate_product
+from repro.cdag import build_cdag, compute_metavertices, compute_value_classes
+
+
+class TestSandwichTransform:
+    def test_identity_transform_is_identity(self):
+        alg = strassen()
+        out = sandwich_transform(alg, np.eye(2), np.eye(2), np.eye(2))
+        np.testing.assert_allclose(out.U, alg.U)
+        np.testing.assert_allclose(out.V, alg.V)
+        np.testing.assert_allclose(out.W, alg.W)
+
+    def test_valid_for_random_unimodular(self):
+        X = np.array([[1.0, 1.0], [0.0, 1.0]])
+        Y = np.array([[1.0, 0.0], [-2.0, 1.0]])
+        Z = np.array([[1.0, 3.0], [0.0, 1.0]])
+        out = sandwich_transform(strassen(), X, Y, Z)
+        assert out.is_valid()
+
+    def test_preserves_parameters(self):
+        out = random_equivalent(strassen(), seed=3)
+        assert (out.n0, out.b) == (2, 7)
+        assert out.omega0 == pytest.approx(np.log2(7))
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            sandwich_transform(
+                strassen(), np.zeros((2, 2)), np.eye(2), np.eye(2)
+            )
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            sandwich_transform(strassen(), np.eye(3), np.eye(2), np.eye(2))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_equivalents_always_valid(self, seed):
+        """Property: every member of the equivalence class passes the
+        Brent equations and computes A @ B numerically."""
+        alg = random_equivalent(strassen(), seed=seed)
+        assert numeric_check(alg, trials=2, seed=seed) < 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_equivalents_admit_hall_matching(self, seed):
+        """Property: the Lemma 5 Hall matching exists for random members
+        of the class (supports change, correctness doesn't)."""
+        from repro.routing import base_matching
+
+        alg = random_equivalent(winograd(), seed=seed)
+        for side in ("A", "B"):
+            matching = base_matching(alg, side)
+            assert len(matching) == alg.n0**3
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_equivalents_route(self, seed):
+        """Property: the Theorem-2 certificate verifies across the
+        equivalence class (when single-use holds)."""
+        from repro.routing import theorem2_certificate
+
+        alg = random_equivalent(strassen(), seed=seed)
+        if alg.satisfies_single_use():
+            cert = theorem2_certificate(alg, 1)
+            assert cert.report.within_bound
+
+    def test_laderman_equivalent(self):
+        assert random_equivalent(laderman(), seed=2).is_valid()
+
+    def test_real_transforms(self):
+        alg = random_equivalent(strassen(), seed=9, integer=False)
+        assert alg.is_valid()
+
+
+class TestStrassenPeeled:
+    def test_parameters(self):
+        alg = strassen_peeled()
+        assert (alg.n0, alg.b) == (3, 26)
+        assert alg.is_strassen_like
+
+    def test_valid_and_numeric(self):
+        assert numeric_check(strassen_peeled(), trials=4, seed=1) < 1e-10
+
+    def test_single_use(self):
+        assert strassen_peeled().satisfies_single_use()
+
+    def test_multiple_copying(self):
+        # a_{13} alone feeds three products (u⊗x twice, u·t once).
+        assert strassen_peeled().has_multiple_copying()
+
+    def test_disconnected_pieces(self):
+        alg = strassen_peeled()
+        assert len(alg.decoder_components()) > 1
+        assert len(alg.encoder_components("A")) > 1
+
+    def test_integer_decoder(self):
+        alg = strassen_peeled()
+        assert np.allclose(alg.W, np.round(alg.W))
+
+    def test_cdag_evaluates(self):
+        g = build_cdag(strassen_peeled(), 1)
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((3, 3))
+        B = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(g.evaluate(A, B)["C"], A @ B, atol=1e-10)
+
+    def test_routing_certificate(self):
+        from repro.routing import theorem2_certificate
+
+        cert = theorem2_certificate(strassen_peeled(), 1)
+        assert cert.report.within_bound
+        assert cert.single_use
+
+    def test_in_catalog(self):
+        from repro.bilinear import by_name
+
+        assert by_name("strassen-peeled-3").b == 26
+
+
+class TestMakeSingleUse:
+    def test_restores_assumption(self):
+        from repro.bilinear import strassen_x_classical
+
+        fixed = make_single_use(strassen_x_classical())
+        assert fixed.satisfies_single_use()
+        assert fixed.is_valid()
+
+    def test_preserves_supports(self):
+        from repro.bilinear import strassen_x_classical
+
+        raw = strassen_x_classical()
+        fixed = make_single_use(raw)
+        assert np.array_equal(raw.U != 0, fixed.U != 0)
+        assert np.array_equal(raw.W != 0, fixed.W != 0)
+
+    def test_noop_on_compliant_algorithm(self):
+        fixed = make_single_use(strassen())
+        np.testing.assert_allclose(fixed.U, strassen().U)
+
+    def test_duplicate_product_fixed(self):
+        dup = with_duplicate_product(strassen(), product=0)
+        assert not dup.satisfies_single_use()
+        assert make_single_use(dup).satisfies_single_use()
+
+
+class TestValueClasses:
+    def test_coarsens_copy_metas(self):
+        g = build_cdag(strassen(), 2)
+        meta = compute_metavertices(g)
+        classes = compute_value_classes(g, seed=4, trials=3)
+        for root in meta.roots().tolist():
+            members = meta.members(root)
+            assert len(np.unique(classes[members])) == 1
+
+    def test_detects_duplicate_rows(self):
+        """Duplicate nontrivial rows share a value class but not a copy
+        meta — the gap the Section-8 extension must bridge."""
+        dup = with_duplicate_product(strassen(), product=0)
+        g = build_cdag(dup, 1)
+        meta = compute_metavertices(g)
+        classes = compute_value_classes(g, seed=4, trials=3)
+        # The two duplicated A-side combination vertices:
+        from repro.cdag import Region
+
+        v1 = g.vertex_id(Region.ENC_A, 1, (0,))
+        v2 = g.vertex_id(Region.ENC_A, 1, (7,))
+        assert classes[v1] == classes[v2]
+        assert meta.label[v1] != meta.label[v2]
+
+    def test_labels_are_smallest_member(self):
+        g = build_cdag(strassen(), 1)
+        classes = compute_value_classes(g, seed=1)
+        for v in range(g.n_vertices):
+            assert classes[v] <= v

@@ -1,0 +1,75 @@
+"""Tests for synthetic / negative-control algorithm fixtures."""
+
+import pytest
+
+from repro.bilinear import numeric_check, strassen, winograd
+from repro.bilinear.synthetic import (
+    broken_algorithm,
+    with_duplicate_product,
+    with_split_output,
+)
+from repro.errors import BrentEquationError
+
+
+class TestWithDuplicateProduct:
+    def test_still_correct(self):
+        dup = with_duplicate_product(strassen(), product=0)
+        assert dup.is_valid()
+        assert numeric_check(dup, trials=3, seed=5) < 1e-10
+
+    def test_violates_single_use(self):
+        # Product 0 of Strassen is nontrivial (A11+A22), so duplicating it
+        # violates the single-use assumption.
+        dup = with_duplicate_product(strassen(), product=0)
+        assert not dup.satisfies_single_use()
+        assert (0, 7) in dup.single_use_violations("A")
+
+    def test_duplicating_strassen_trivial_a_side_still_violates_via_b(self):
+        # Product 2 of Strassen is A11 alone (trivial on the A side) but
+        # its B-side combination (B12 - B22) is nontrivial, so the
+        # duplicate still violates single-use — through the B encoder.
+        dup = with_duplicate_product(strassen(), product=2)
+        assert not dup.satisfies_single_use()
+        assert dup.single_use_violations("A") == []
+        assert (2, 7) in dup.single_use_violations("B")
+
+    def test_duplicating_fully_trivial_product_keeps_single_use(self):
+        # Classical products are trivial on both sides: duplication is
+        # multiple copying, which the paper's assumption permits.
+        from repro.bilinear import classical
+
+        dup = with_duplicate_product(classical(2), product=0)
+        assert dup.satisfies_single_use()
+        assert dup.has_multiple_copying()
+
+    def test_product_count_increases(self):
+        assert with_duplicate_product(strassen()).b == 8
+
+    def test_bad_index_raises(self):
+        with pytest.raises(ValueError):
+            with_duplicate_product(strassen(), product=7)
+
+
+class TestWithSplitOutput:
+    def test_still_correct(self):
+        assert with_split_output(winograd(), product=3, scale=4.0).is_valid()
+
+    def test_non_unit_coefficients(self):
+        import numpy as np
+
+        scaled = with_split_output(strassen(), product=0, scale=2.0)
+        assert np.max(np.abs(scaled.U)) == 2.0
+
+    def test_zero_scale_raises(self):
+        with pytest.raises(ValueError):
+            with_split_output(strassen(), scale=0.0)
+
+
+class TestBrokenAlgorithm:
+    def test_fails_validation(self):
+        bad = broken_algorithm(strassen())
+        with pytest.raises(BrentEquationError):
+            bad.validate()
+
+    def test_is_valid_false(self):
+        assert not broken_algorithm(winograd()).is_valid()

@@ -1,0 +1,102 @@
+"""Tests for the Lemma 6 / Winograd matrix-vector bound machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear.winograd_bound import (
+    ProductFormComputation,
+    check_lemma6,
+    classical_matvec,
+    count_correct_coefficients,
+)
+
+
+class TestClassicalMatvec:
+    @pytest.mark.parametrize("n0", [1, 2, 3, 4])
+    def test_all_coefficients_correct(self, n0):
+        comp = classical_matvec(n0)
+        assert count_correct_coefficients(comp) == n0 * n0
+
+    @pytest.mark.parametrize("n0", [1, 2, 3])
+    def test_tight_case_of_winograd_bound(self, n0):
+        report = check_lemma6(classical_matvec(n0))
+        assert report["holds"]
+        assert report["d"] == report["n_mults"] == n0 * n0
+
+
+class TestProductFormComputation:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ProductFormComputation(
+                n0=2, UA=np.zeros((3, 3)), VB=np.zeros((3, 4)), Z=np.zeros((2, 3))
+            )
+        with pytest.raises(ValueError):
+            ProductFormComputation(
+                n0=2, UA=np.zeros((3, 2)), VB=np.zeros((3, 3)), Z=np.zeros((2, 3))
+            )
+        with pytest.raises(ValueError):
+            ProductFormComputation(
+                n0=2, UA=np.zeros((3, 2)), VB=np.zeros((3, 4)), Z=np.zeros((3, 3))
+            )
+
+    def test_dead_products_not_counted(self):
+        comp = classical_matvec(2)
+        # Append a product with zero decoder coefficient everywhere.
+        UA = np.vstack([comp.UA, [1, 0]])
+        VB = np.vstack([comp.VB, [1, 0, 0, 0]])
+        Z = np.hstack([comp.Z, np.zeros((2, 1))])
+        padded = ProductFormComputation(n0=2, UA=UA, VB=VB, Z=Z)
+        assert padded.n_mults == 4
+
+    def test_coefficient_form(self):
+        comp = classical_matvec(2)
+        # Coefficient of a_i0 in c_i0 must be b_00.
+        form = comp.coefficient_form(0, 0)
+        expected = np.zeros(4)
+        expected[0] = 1.0
+        np.testing.assert_allclose(form, expected)
+
+
+class TestLemma6:
+    def test_fewer_correct_with_missing_product(self):
+        """Deleting a product from the classical computation removes
+        exactly one correct coefficient; Lemma 6 still holds."""
+        comp = classical_matvec(2)
+        Z = comp.Z.copy()
+        Z[:, 0] = 0  # disconnect product 0
+        reduced = ProductFormComputation(n0=2, UA=comp.UA, VB=comp.VB, Z=Z)
+        report = check_lemma6(reduced)
+        assert report["d"] == 3
+        assert report["n_mults"] == 3
+        assert report["holds"]
+
+    def test_strassen_style_row_computation(self):
+        """A computation reusing one product for two outputs can have at
+        most as many correct coefficients as multiplications (Lemma 6)."""
+        # c_i0 = (a_i0 + a_i1) * b_00  -- correct coefficient only if the
+        # contribution of a_i1 is b_00 == b_10, which it is not.
+        UA = np.array([[1.0, 1.0]])
+        VB = np.array([[1.0, 0, 0, 0]])
+        Z = np.array([[1.0], [0.0]])
+        comp = ProductFormComputation(n0=2, UA=UA, VB=VB, Z=Z)
+        report = check_lemma6(comp)
+        assert report["n_mults"] == 1
+        assert report["d"] <= 1
+        assert report["holds"]
+
+    def test_random_computations_never_violate(self):
+        """Property: no random product-form computation violates Lemma 6.
+
+        A violation would disprove Winograd's lower bound, so this is a
+        strong sanity check on the coefficient extraction."""
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n0 = int(rng.integers(1, 4))
+            m = int(rng.integers(1, n0 * n0 + 2))
+            comp = ProductFormComputation(
+                n0=n0,
+                UA=rng.integers(-1, 2, size=(m, n0)).astype(float),
+                VB=rng.integers(-1, 2, size=(m, n0 * n0)).astype(float),
+                Z=rng.integers(-1, 2, size=(n0, m)).astype(float),
+            )
+            assert check_lemma6(comp)["holds"]

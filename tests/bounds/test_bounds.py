@@ -1,0 +1,255 @@
+"""Tests for the bound formulas (Theorem 1, Hong-Kung, uppers)."""
+
+import math
+
+import pytest
+
+from repro.bilinear import classical, laderman, strassen, strassen_x_classical
+from repro.bounds import (
+    blocked_io_upper_bound,
+    classical_io_lower_bound,
+    classical_memory_independent_lower_bound,
+    classical_parallel_bandwidth_lower_bound,
+    combined_parallel_lower_bound,
+    io_lower_bound,
+    io_lower_bound_paper_constants,
+    memory_independent_lower_bound,
+    parallel_bandwidth_lower_bound,
+    paper_k_section5,
+    paper_k_section6,
+    recursive_io_recurrence,
+    recursive_io_upper_bound,
+)
+from repro.errors import BoundError
+
+
+class TestTheorem1Form:
+    def test_strassen_exponent(self):
+        """(n/sqrt(M))^(log2 7) * M exactly."""
+        n, M = 1024, 64
+        expected = (n / math.sqrt(M)) ** math.log2(7) * M
+        assert io_lower_bound(strassen(), n, M) == pytest.approx(expected)
+
+    def test_scaling_in_n(self):
+        """Doubling n multiplies the bound by 2^omega0."""
+        alg = strassen()
+        ratio = io_lower_bound(alg, 2048, 64) / io_lower_bound(alg, 1024, 64)
+        assert ratio == pytest.approx(2**alg.omega0)
+
+    def test_decreasing_in_m(self):
+        """For omega0 > 2 the bound falls as M grows."""
+        alg = strassen()
+        assert io_lower_bound(alg, 1024, 256) < io_lower_bound(alg, 1024, 64)
+
+    def test_laderman_exponent(self):
+        n, M = 3**6, 27
+        alg = laderman()
+        expected = (n / math.sqrt(M)) ** alg.omega0 * M
+        assert io_lower_bound(alg, n, M) == pytest.approx(expected)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            io_lower_bound(strassen(), 0, 16)
+        with pytest.raises(ValueError):
+            io_lower_bound(strassen(), 16, 0)
+
+
+class TestPaperConstants:
+    def test_k_choices(self):
+        # a=4: k = ceil(log_4 72M); M=1 -> ceil(3.085) = 4.
+        assert paper_k_section6(4, 1) == 4
+        # Section 5: ceil(log_4 132) = 4.
+        assert paper_k_section5(1) == 4
+
+    def test_explicit_bound_positive_in_regime(self):
+        alg = strassen()
+        # Need k=4 <= r-2: r=6, n=64, M=1.
+        bound = io_lower_bound_paper_constants(alg, 64, 1)
+        assert bound >= 0
+
+    def test_out_of_regime_raises(self):
+        with pytest.raises(BoundError):
+            io_lower_bound_paper_constants(strassen(), 8, 64)
+
+    def test_clamp_returns_zero(self):
+        assert io_lower_bound_paper_constants(strassen(), 8, 64, clamp=True) == 0
+
+    def test_explicit_below_omega_form(self):
+        """The explicit-constant bound never exceeds the Ω-form scaled by
+        its hidden constant 1 (the constants are < 1)."""
+        alg = strassen()
+        for n, M in [(4**4, 1), (4**5, 2)]:
+            explicit = io_lower_bound_paper_constants(alg, n, M, clamp=True)
+            assert explicit <= io_lower_bound(alg, n, M)
+
+    def test_requires_power_of_n0(self):
+        with pytest.raises(ValueError):
+            io_lower_bound_paper_constants(strassen(), 100, 1)
+
+
+class TestParallelBounds:
+    def test_perfect_strong_scaling_factor(self):
+        alg = strassen()
+        assert parallel_bandwidth_lower_bound(alg, 256, 16, 8) == pytest.approx(
+            io_lower_bound(alg, 256, 16) / 8
+        )
+
+    def test_memory_independent(self):
+        alg = strassen()
+        expected = 256**2 / 64 ** (2 / alg.omega0)
+        assert memory_independent_lower_bound(alg, 256, 64) == pytest.approx(expected)
+
+    def test_combined_is_max(self):
+        alg = strassen()
+        n, M, P = 256, 16, 4
+        assert combined_parallel_lower_bound(alg, n, M, P) == max(
+            parallel_bandwidth_lower_bound(alg, n, M, P),
+            memory_independent_lower_bound(alg, n, P),
+        )
+
+    def test_crossover_between_regimes(self):
+        """Small P: memory-bound term dominates; large P: memory-
+        independent term dominates (the [2] picture)."""
+        alg = strassen()
+        n, M = 2**10, 2**8
+        small_p = combined_parallel_lower_bound(alg, n, M, 2)
+        assert small_p == parallel_bandwidth_lower_bound(alg, n, M, 2)
+        big_p = combined_parallel_lower_bound(alg, n, M, 2**20)
+        assert big_p == memory_independent_lower_bound(alg, n, 2**20)
+
+
+class TestClassicalBounds:
+    def test_hong_kung_form(self):
+        assert classical_io_lower_bound(512, 64) == pytest.approx(512**3 / 8)
+
+    def test_trivial_floor(self):
+        # Tiny n, huge M: the n^2 term dominates.
+        assert classical_io_lower_bound(4, 4096) == 32
+
+    def test_blocked_upper_above_lower(self):
+        for n in (64, 256, 1024):
+            for M in (48, 192, 768):
+                assert blocked_io_upper_bound(n, M) >= classical_io_lower_bound(
+                    n, M
+                ) / math.sqrt(3) - 1
+
+    def test_parallel_classical(self):
+        assert classical_parallel_bandwidth_lower_bound(
+            512, 64, 8
+        ) == pytest.approx(classical_io_lower_bound(512, 64) / 8)
+        assert classical_memory_independent_lower_bound(512, 8) == pytest.approx(
+            512**2 / 4
+        )
+
+
+class TestUpperBounds:
+    def test_recurrence_base_case(self):
+        alg = strassen()
+        # Problem fits in cache: 3 n^2 I/Os.
+        assert recursive_io_recurrence(alg, 4, 1000) == 48
+
+    def test_recurrence_scaling(self):
+        """IO(n) ~ b * IO(n/2) once out of cache."""
+        alg = strassen()
+        M = 12
+        io1 = recursive_io_recurrence(alg, 32, M)
+        io2 = recursive_io_recurrence(alg, 64, M)
+        assert io2 < 7.5 * io1
+        assert io2 > 6.0 * io1
+
+    def test_upper_dominates_lower(self):
+        """Sanity: the O-form upper bound exceeds the Ω-form lower bound
+        everywhere in the modelled regime."""
+        alg = strassen()
+        for n in (64, 256, 1024):
+            for M in (16, 64, 256):
+                assert recursive_io_upper_bound(alg, n, M) >= io_lower_bound(
+                    alg, n, M
+                )
+
+    def test_measured_io_between_bounds(self):
+        """The measured recursive-schedule I/O sits between the Ω lower
+        bound (with the paper's small constants) and the recurrence
+        upper model."""
+        from repro.cdag import build_cdag
+        from repro.pebbling import simulate_io
+        from repro.schedules import recursive_schedule
+
+        alg = strassen()
+        g = build_cdag(alg, 4)
+        sched = recursive_schedule(g)
+        n = 16
+        for M in (12, 48):
+            measured = simulate_io(g, sched, M, policy="belady").total
+            upper = recursive_io_recurrence(alg, n, M)
+            assert measured <= upper
+
+
+class TestCrossover:
+    def test_flops(self):
+        from repro.bounds import flops
+
+        # Strassen on 2x2: 7 mults + 18 adds = 25 operations.
+        assert flops(strassen(), 2) == 25
+
+    def test_flops_classical(self):
+        from repro.bounds import flops
+
+        # classical(2) on 2x2: 8 mults + 4 adds.
+        assert flops(classical(2), 2) == 12
+
+    def test_flop_crossover_finite_for_fast(self):
+        from repro.bounds import flop_crossover_n
+
+        assert math.isfinite(flop_crossover_n(strassen()))
+        assert flop_crossover_n(classical(2)) == math.inf
+
+    def test_io_ratio_grows_with_n(self):
+        from repro.bounds import io_ratio
+
+        alg = strassen()
+        assert io_ratio(alg, 2**12, 256) > io_ratio(alg, 2**8, 256)
+
+    def test_io_crossover(self):
+        from repro.bounds import io_crossover_n
+
+        n_star = io_crossover_n(strassen(), 256)
+        assert math.isfinite(n_star)
+        # Past the crossover the fast bound is smaller.
+        assert io_lower_bound(strassen(), int(n_star) * 4, 256) < (
+            classical_io_lower_bound(int(n_star) * 4, 256)
+        )
+
+
+class TestExpansion:
+    def test_strassen_decoder_expansion_positive(self):
+        from repro.bounds import decoder_edge_expansion
+
+        assert decoder_edge_expansion(strassen()) > 0
+
+    def test_classical_decoder_expansion_zero(self):
+        from repro.bounds import decoder_edge_expansion
+
+        assert decoder_edge_expansion(classical(2)) == 0.0
+
+    def test_applicability_verdicts(self):
+        from repro.bounds import expansion_technique_applicable
+
+        assert expansion_technique_applicable(strassen())["applicable"]
+        report = expansion_technique_applicable(strassen_x_classical())
+        assert not report["applicable"]
+        assert not report["decoder_connected"]
+
+    def test_exact_expansion_small_graph(self):
+        from repro.bounds import edge_expansion
+
+        # A 4-cycle: expansion = 1 (cut any single vertex: 2 edges / 1;
+        # cut opposite pair: 4/2; adjacent pair: 2/2 = 1).
+        adjacency = [{1, 3}, {0, 2}, {1, 3}, {0, 2}]
+        assert edge_expansion(adjacency) == 1.0
+
+    def test_size_guard(self):
+        from repro.bounds import edge_expansion
+
+        with pytest.raises(ValueError):
+            edge_expansion([set()] * 30)

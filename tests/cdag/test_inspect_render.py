@@ -1,0 +1,87 @@
+"""Tests for CDAG inspection and rendering."""
+
+import pytest
+
+from repro.bilinear import classical, strassen, strassen_x_classical
+from repro.cdag import (
+    Region,
+    ascii_ranks,
+    build_base_graph,
+    build_cdag,
+    connected_components,
+    describe_vertex,
+    is_connected,
+    region_components,
+    summarize,
+    to_dot,
+)
+
+
+class TestConnectivity:
+    def test_whole_cdag_connected(self):
+        """The paper: G_r of a correct MM algorithm is always connected,
+        even when encoders/decoder are not individually."""
+        for alg in (strassen(), classical(2), strassen_x_classical()):
+            g = build_cdag(alg, 2)
+            assert is_connected(g)
+
+    def test_strassen_regions_connected(self):
+        g = build_base_graph(strassen())
+        assert region_components(g, Region.ENC_A) == 1
+        assert region_components(g, Region.ENC_B) == 1
+        assert region_components(g, Region.DEC) == 1
+
+    def test_classical_regions_disconnected(self):
+        g = build_base_graph(classical(2))
+        assert region_components(g, Region.DEC) == 4
+        assert region_components(g, Region.ENC_A) == 4
+
+    def test_strassen_x_classical_decoder_disconnected(self):
+        """The E12 scenario: fast algorithm, disconnected decoder."""
+        g = build_base_graph(strassen_x_classical())
+        assert region_components(g, Region.DEC) > 1
+        assert is_connected(g)
+
+    def test_components_of_subset(self):
+        g = build_base_graph(strassen())
+        # Two isolated inputs form two components.
+        comps = connected_components(g, g.inputs()[:2])
+        assert comps == 2
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize(build_cdag(strassen(), 2))
+        assert s.name == "strassen"
+        assert s.n_inputs == 32
+        assert s.n_outputs == 16
+        assert s.n_products == 49
+        assert s.connected
+
+
+class TestRender:
+    def test_dot_contains_all_vertices(self):
+        g = build_base_graph(strassen())
+        dot = to_dot(g)
+        assert dot.count("->") == g.n_edges
+        assert "rankdir=BT" in dot
+
+    def test_dot_size_limit(self):
+        g = build_cdag(strassen(), 4)
+        with pytest.raises(ValueError):
+            to_dot(g, max_vertices=100)
+
+    def test_ascii_ranks_lines(self):
+        g = build_base_graph(strassen())
+        text = ascii_ranks(g)
+        assert len(text.splitlines()) == 2 * g.r + 2
+
+    def test_describe_vertex(self):
+        g = build_base_graph(strassen())
+        label = describe_vertex(g, int(g.products()[3]))
+        assert label == "dec[r0](m=3|e=-)"
+
+    def test_describe_input(self):
+        g = build_base_graph(strassen())
+        label = describe_vertex(g, int(g.inputs("A")[2]))
+        assert label == "enc_A[r0](m=-|e=2)"

@@ -1,0 +1,56 @@
+"""Integration tests: every experiment reproduces its paper claims.
+
+These are the end-to-end checks — each experiment's ``checks`` dict is
+the machine-verdict on the corresponding paper statement (see DESIGN.md
+section 3 for the experiment <-> paper map).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentResult, get_experiment, list_experiments
+
+ALL_IDS = [f"E{i}" for i in range(1, 15)]
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert list_experiments() == sorted(ALL_IDS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+class TestReproduction:
+    def test_all_checks_pass(self, experiment_id):
+        result = get_experiment(experiment_id)()
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"{experiment_id} failed checks: {failed}"
+
+    def test_result_structure(self, experiment_id):
+        result = get_experiment(experiment_id)()
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.tables, "every experiment reports at least one table"
+        assert result.checks, "every experiment verifies at least one claim"
+        rendered = result.render()
+        assert experiment_id in rendered
+        assert "FAIL" not in rendered
+
+
+class TestParameterisation:
+    def test_e2_custom_depth(self):
+        assert get_experiment("E2")(r=2).all_checks_pass
+
+    def test_e3_small_k(self):
+        assert get_experiment("E3")(k_max=2).all_checks_pass
+
+    def test_e4_k1_only(self):
+        assert get_experiment("E4")(k_max=1).all_checks_pass
+
+    def test_e9_small(self):
+        assert get_experiment("E9")(r_max=3, cache_sizes=(12, 48)).all_checks_pass
+
+    def test_e11_small_n(self):
+        assert get_experiment("E11")(n=2**8).all_checks_pass

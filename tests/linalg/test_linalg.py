@@ -1,0 +1,129 @@
+"""Tests for the numeric kernels and operation counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bilinear import classical, laderman, strassen, winograd
+from repro.errors import AlgorithmError
+from repro.linalg import (
+    OpCounter,
+    blocked_matmul,
+    naive_matmul,
+    recursive_matmul,
+    strassen_matmul,
+)
+from repro.utils.rngs import make_rng
+
+
+class TestNaive:
+    def test_matches_numpy(self):
+        rng = make_rng(0)
+        A = rng.standard_normal((5, 5))
+        B = rng.standard_normal((5, 5))
+        np.testing.assert_allclose(naive_matmul(A, B), A @ B, atol=1e-10)
+
+    def test_operation_counts(self):
+        counter = OpCounter()
+        n = 4
+        naive_matmul(np.eye(n), np.eye(n), counter)
+        assert counter.multiplications == n**3
+        assert counter.additions == n**3 - n * n
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(AlgorithmError):
+            naive_matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestBlocked:
+    @pytest.mark.parametrize("block", [1, 2, 3, 8])
+    def test_matches_numpy(self, block):
+        rng = make_rng(1)
+        A = rng.standard_normal((6, 6))
+        B = rng.standard_normal((6, 6))
+        np.testing.assert_allclose(
+            blocked_matmul(A, B, block), A @ B, atol=1e-10
+        )
+
+    def test_counts_classical(self):
+        counter = OpCounter()
+        blocked_matmul(np.eye(4), np.eye(4), 2, counter)
+        assert counter.multiplications == 64
+
+
+class TestRecursive:
+    @pytest.mark.parametrize(
+        "maker,n",
+        [(strassen, 8), (winograd, 8), (laderman, 9), (lambda: classical(2), 8)],
+        ids=["strassen", "winograd", "laderman", "classical"],
+    )
+    def test_matches_numpy(self, maker, n):
+        alg = maker()
+        rng = make_rng(2)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        np.testing.assert_allclose(
+            recursive_matmul(alg, A, B), A @ B, atol=1e-8
+        )
+
+    def test_cutoff_hybrid(self):
+        rng = make_rng(3)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        np.testing.assert_allclose(
+            recursive_matmul(strassen(), A, B, cutoff=4), A @ B, atol=1e-8
+        )
+
+    def test_multiplication_count_strassen(self):
+        """Pure Strassen on 2^r: exactly 7^r scalar multiplications."""
+        counter = OpCounter()
+        n = 8
+        strassen_matmul(np.eye(n), np.eye(n), counter=counter)
+        assert counter.multiplications == 7**3
+
+    def test_multiplication_count_matches_flops_model(self):
+        from repro.bounds import flops
+
+        counter = OpCounter()
+        n = 8
+        strassen_matmul(np.eye(n), np.eye(n), counter=counter)
+        assert counter.total == flops(strassen(), n)
+
+    def test_laderman_multiplication_count(self):
+        counter = OpCounter()
+        recursive_matmul(laderman(), np.eye(9), np.eye(9), counter=counter)
+        assert counter.multiplications == 23**2
+
+    def test_fewer_mults_than_classical(self):
+        c1, c2 = OpCounter(), OpCounter()
+        n = 16
+        A = np.eye(n)
+        strassen_matmul(A, A, counter=c1)
+        naive_matmul(A, A, c2)
+        assert c1.multiplications < c2.multiplications
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            recursive_matmul(strassen(), np.eye(6), np.eye(6))
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(AlgorithmError):
+            recursive_matmul(strassen(), np.eye(4), np.eye(4), cutoff=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_strassen_numeric_property(self, seed):
+        rng = make_rng(seed)
+        A = rng.standard_normal((8, 8)) * 5
+        B = rng.standard_normal((8, 8)) * 5
+        np.testing.assert_allclose(strassen_matmul(A, B), A @ B, atol=1e-7)
+
+
+class TestOpCounter:
+    def test_reset(self):
+        c = OpCounter()
+        c.add_mults(3)
+        c.add_adds(4)
+        assert c.total == 7
+        c.reset()
+        assert c.total == 0

@@ -1,0 +1,135 @@
+"""Tests for the strict red-blue pebble game and executor equivalence."""
+
+import pytest
+
+from repro.bilinear import strassen, winograd
+from repro.cdag import build_base_graph, build_cdag
+from repro.errors import PebbleGameError
+from repro.pebbling import PebbleGame, simulate_io, trace_from_executor
+from repro.schedules import rank_order_schedule, recursive_schedule
+
+
+@pytest.fixture()
+def base_game():
+    return PebbleGame(build_base_graph(strassen()), cache_size=5)
+
+
+class TestMoves:
+    def test_initial_state(self, base_game):
+        # All 8 inputs blue, nothing red.
+        assert len(base_game.blue) == 8
+        assert len(base_game.red) == 0
+        assert base_game.io_count == 0
+
+    def test_load_costs_one(self, base_game):
+        v = next(iter(base_game.blue))
+        base_game.load(v)
+        assert base_game.io_count == 1
+        assert v in base_game.red
+
+    def test_load_requires_blue(self, base_game):
+        g = base_game.cdag
+        v = int(g.products()[0])
+        with pytest.raises(PebbleGameError):
+            base_game.load(v)
+
+    def test_double_load_rejected(self, base_game):
+        v = next(iter(base_game.blue))
+        base_game.load(v)
+        with pytest.raises(PebbleGameError):
+            base_game.load(v)
+
+    def test_store_requires_red(self, base_game):
+        v = next(iter(base_game.blue))
+        with pytest.raises(PebbleGameError):
+            base_game.store(v)
+
+    def test_compute_requires_preds_red(self, base_game):
+        g = base_game.cdag
+        v = int(g.products()[0])
+        with pytest.raises(PebbleGameError):
+            base_game.compute(v)
+
+    def test_compute_sequence(self, base_game):
+        g = base_game.cdag
+        # Compute encoder vertex for product 2 (A11 alone on the A side).
+        from repro.cdag import Region
+
+        enc = g.vertex_id(Region.ENC_A, 1, (2,))
+        pred = int(g.predecessors(enc)[0])
+        base_game.load(pred)
+        base_game.compute(enc)
+        assert enc in base_game.red
+
+    def test_no_recomputation(self, base_game):
+        g = base_game.cdag
+        from repro.cdag import Region
+
+        enc = g.vertex_id(Region.ENC_A, 1, (2,))
+        pred = int(g.predecessors(enc)[0])
+        base_game.load(pred)
+        base_game.compute(enc)
+        base_game.delete(enc)
+        with pytest.raises(PebbleGameError):
+            base_game.compute(enc)
+
+    def test_capacity_enforced(self, base_game):
+        inputs = sorted(base_game.blue)
+        for v in inputs[:5]:
+            base_game.load(v)
+        with pytest.raises(PebbleGameError):
+            base_game.load(inputs[5])
+
+    def test_delete_frees_room(self, base_game):
+        inputs = sorted(base_game.blue)
+        for v in inputs[:5]:
+            base_game.load(v)
+        base_game.delete(inputs[0])
+        base_game.load(inputs[5])
+        assert len(base_game.red) == 5
+
+    def test_delete_requires_red(self, base_game):
+        with pytest.raises(PebbleGameError):
+            base_game.delete(next(iter(base_game.blue)))
+
+    def test_bad_cache_size(self):
+        with pytest.raises(PebbleGameError):
+            PebbleGame(build_base_graph(strassen()), cache_size=0)
+
+
+class TestCompletion:
+    def test_incomplete_initially(self, base_game):
+        assert not base_game.is_complete()
+        with pytest.raises(PebbleGameError):
+            base_game.assert_complete()
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "belady"])
+    @pytest.mark.parametrize("M", [6, 12, 48])
+    def test_io_counts_match(self, policy, M):
+        """Every executor run corresponds to a legal pebbling of equal
+        cost."""
+        g = build_cdag(strassen(), 2)
+        sched = recursive_schedule(g)
+        res = simulate_io(g, sched, M, policy=policy)
+        game = trace_from_executor(g, sched, M, policy=policy)
+        assert game.io_count == res.total
+        assert game.is_complete()
+
+    def test_rank_order_equivalence(self):
+        g = build_cdag(winograd(), 2)
+        sched = rank_order_schedule(g)
+        res = simulate_io(g, sched, 10)
+        game = trace_from_executor(g, sched, 10)
+        assert game.io_count == res.total
+
+    def test_red_pebbles_never_exceed_capacity(self):
+        g = build_cdag(strassen(), 2)
+        sched = recursive_schedule(g)
+        game = trace_from_executor(g, sched, 8)
+        # Replay and track the running red count.
+        replay = PebbleGame(g, 8)
+        for move in game.moves:
+            getattr(replay, move.kind.value)(move.vertex)
+            assert len(replay.red) <= 8

@@ -1,0 +1,140 @@
+"""Hypothesis property tests across schedules, policies and cache sizes.
+
+These drive the executor with randomly generated (but valid) schedules
+and assert the model-level invariants that the lower-bound reasoning
+rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bilinear import strassen, winograd
+from repro.cdag import build_cdag
+from repro.pebbling import CacheExecutor, simulate_io, trace_from_executor
+from repro.schedules import (
+    demand_driven_schedule,
+    random_product_order_schedule,
+    random_topological_schedule,
+    validate_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def g2():
+    return build_cdag(strassen(), 2)
+
+
+class TestScheduleGenerationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_topological_always_valid(self, seed):
+        g = build_cdag(strassen(), 2)
+        validate_schedule(g, random_topological_schedule(g, seed=seed))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_any_product_permutation_yields_valid_schedule(self, seed):
+        g = build_cdag(winograd(), 2)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(g.products()))
+        validate_schedule(g, demand_driven_schedule(g, order))
+
+
+class TestExecutorInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from([8, 16, 48]),
+    )
+    def test_compulsory_floor(self, seed, M):
+        """Any schedule, any policy: I/O >= inputs + outputs."""
+        g = build_cdag(strassen(), 2)
+        sched = random_topological_schedule(g, seed=seed)
+        floor = len(g.inputs()) + len(g.outputs())
+        for policy in ("lru", "fifo", "belady"):
+            assert simulate_io(g, sched, M, policy, validate=False).total >= floor
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_belady_reads_never_worse(self, seed):
+        """Offline MIN minimises read misses for any fixed schedule."""
+        g = build_cdag(strassen(), 2)
+        sched = random_product_order_schedule(g, seed=seed)
+        for M in (8, 24):
+            lru = simulate_io(g, sched, M, "lru", validate=False)
+            fifo = simulate_io(g, sched, M, "fifo", validate=False)
+            belady = simulate_io(g, sched, M, "belady", validate=False)
+            assert belady.reads <= lru.reads
+            assert belady.reads <= fifo.reads
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_belady_reads_monotone_in_m(self, seed):
+        """More cache never increases MIN's read misses."""
+        g = build_cdag(strassen(), 2)
+        sched = random_topological_schedule(g, seed=seed)
+        reads = [
+            simulate_io(g, sched, M, "belady", validate=False).reads
+            for M in (8, 16, 32, 64)
+        ]
+        assert all(a >= b for a, b in zip(reads, reads[1:]))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from(["lru", "fifo", "belady"]),
+    )
+    def test_pebble_game_equivalence_random(self, seed, policy):
+        """Every executor run is a legal pebbling of identical cost —
+        for arbitrary schedules and policies."""
+        g = build_cdag(strassen(), 2)
+        sched = random_topological_schedule(g, seed=seed)
+        res = simulate_io(g, sched, 12, policy, validate=False)
+        game = trace_from_executor(g, sched, 12, policy)
+        assert game.io_count == res.total
+        assert game.is_complete()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_io_trace_is_monotone_and_consistent(self, seed):
+        """The per-step cumulative I/O trace is nondecreasing and ends at
+        most at the final total (drain writes follow)."""
+        g = build_cdag(strassen(), 2)
+        sched = random_topological_schedule(g, seed=seed)
+        executor = CacheExecutor(g)
+        trace: list[int] = []
+        res = executor.run(sched, 16, io_trace=trace, validate=False)
+        assert len(trace) == len(sched)
+        assert all(a <= b for a, b in zip(trace, trace[1:]))
+        assert trace[-1] <= res.total
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_lower_bound_never_beaten(self, seed):
+        """The Theorem-1 Ω-form (constant 1) holds below every random
+        execution in the scaling regime."""
+        from repro.bounds import io_lower_bound
+
+        g = build_cdag(strassen(), 3)
+        sched = random_product_order_schedule(g, seed=seed)
+        M = 12
+        measured = simulate_io(g, sched, M, "belady", validate=False).total
+        assert measured >= io_lower_bound(strassen(), 8, M)
+
+
+class TestSegmentArgumentProperty:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_eq2_on_random_schedules(self, seed):
+        """Equation (2) must hold for *every* execution order — probe it
+        with random ones."""
+        from repro.cdag import compute_metavertices
+        from repro.pebbling import SegmentAnalysis
+
+        g = build_cdag(strassen(), 3)
+        meta = compute_metavertices(g)
+        analysis = SegmentAnalysis(g, meta, cache_size=1, k=1, threshold=18)
+        sched = random_topological_schedule(g, seed=seed)
+        for rec in analysis.analyze(sched):
+            assert rec.satisfies_eq2(), rec

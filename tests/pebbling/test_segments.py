@@ -1,0 +1,167 @@
+"""Tests for the segment-counting machinery (Definition 1, Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear import strassen
+from repro.cdag import Region, build_cdag, compute_metavertices
+from repro.errors import PartitionError
+from repro.pebbling import (
+    SegmentAnalysis,
+    boundary_sets,
+    counted_mask_section5,
+    counted_mask_section6,
+    meta_boundary,
+    partition_schedule,
+    paper_k,
+)
+from repro.schedules import (
+    rank_order_schedule,
+    random_topological_schedule,
+    recursive_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def g3():
+    return build_cdag(strassen(), 3)
+
+
+@pytest.fixture(scope="module")
+def meta3(g3):
+    return compute_metavertices(g3)
+
+
+class TestBoundarySets:
+    def test_single_product(self, g3):
+        v = int(g3.products()[0])
+        r_set, w_set = boundary_sets(g3, np.array([v]))
+        # R(S): the product's two encoder-top predecessors.
+        assert set(r_set.tolist()) == set(g3.predecessors(v).tolist())
+        # W(S): the product itself (it feeds decoder vertices outside S).
+        assert w_set.tolist() == [v]
+
+    def test_disjoint_r_w(self, g3):
+        segment = g3.products()[:10]
+        r_set, w_set = boundary_sets(g3, segment)
+        assert not (set(r_set.tolist()) & set(w_set.tolist()))
+
+    def test_whole_graph_boundary(self, g3):
+        everything = np.arange(g3.n_vertices)
+        r_set, w_set = boundary_sets(g3, everything)
+        assert len(r_set) == 0
+        assert len(w_set) == 0
+
+    def test_r_outside_w_inside(self, g3):
+        segment = g3.products()[:5]
+        sset = set(segment.tolist())
+        r_set, w_set = boundary_sets(g3, segment)
+        assert all(v not in sset for v in r_set.tolist())
+        assert all(v in sset for v in w_set.tolist())
+
+
+class TestMetaBoundary:
+    def test_includes_closure_neighbors(self, g3, meta3):
+        v = int(g3.products()[0])
+        mb = meta_boundary(g3, meta3, np.array([v]))
+        # The product's predecessors' metas must appear.
+        pred_metas = {int(meta3.label[p]) for p in g3.predecessors(v)}
+        assert pred_metas <= set(mb.tolist())
+
+    def test_no_inside_metas(self, g3, meta3):
+        segment = g3.products()[:20]
+        mb = meta_boundary(g3, meta3, segment)
+        closed = meta3.closure(segment)
+        inside = set(np.unique(meta3.label[closed]).tolist())
+        assert not (set(mb.tolist()) & inside)
+
+
+class TestCountedMasks:
+    def test_section5_mask_size(self, g3):
+        k = 1
+        mask = counted_mask_section5(g3, k)
+        assert mask.sum() == 4**k * 7 ** (g3.r - k)
+
+    def test_section6_mask_size_strassen(self, g3, meta3):
+        k = 1
+        mask, family = counted_mask_section6(g3, k, meta3)
+        # Strassen: all 49 copies are input-disjoint; counted vertices =
+        # 3 a^k per copy.
+        assert len(family) == 49
+        assert mask.sum() == 3 * 4**k * 49
+
+
+class TestPartition:
+    def test_threshold_met(self, g3, meta3):
+        mask = counted_mask_section5(g3, 1)
+        sched = recursive_schedule(g3)
+        segments = partition_schedule(g3, sched, mask, threshold=50, meta=meta3)
+        # All but the last segment must hit the threshold.
+        counted_seen = np.zeros(g3.n_vertices, dtype=bool)
+        for seg in segments[:-1]:
+            closed = meta3.closure(seg)
+            fresh = closed[mask[closed] & ~counted_seen[closed]]
+            counted_seen[fresh] = True
+            assert len(fresh) >= 50
+
+    def test_segments_partition_schedule(self, g3, meta3):
+        mask = counted_mask_section5(g3, 1)
+        sched = recursive_schedule(g3)
+        segments = partition_schedule(g3, sched, mask, threshold=64, meta=meta3)
+        recombined = np.concatenate(segments)
+        np.testing.assert_array_equal(recombined, sched)
+
+    def test_empty_schedule_raises(self, g3, meta3):
+        mask = counted_mask_section5(g3, 1)
+        with pytest.raises(PartitionError):
+            partition_schedule(g3, np.array([], dtype=np.int64), mask, 10, meta3)
+
+    def test_bad_threshold(self, g3, meta3):
+        mask = counted_mask_section5(g3, 1)
+        with pytest.raises(ValueError):
+            partition_schedule(g3, recursive_schedule(g3), mask, 0, meta3)
+
+
+class TestSegmentAnalysis:
+    def test_paper_k(self):
+        # k = ceil(log_a 72M): a=4, M=1 -> ceil(log_4 72) = 4.
+        assert paper_k(4, 1) == 4
+
+    def test_eq2_holds_on_schedules(self, g3, meta3):
+        """Equation (2): |delta'(S')| >= |S_bar| / 12 on every segment of
+        every schedule family (the paper's keystone, measured)."""
+        analysis = SegmentAnalysis(g3, meta3, cache_size=2, k=1, threshold=24)
+        for sched in (
+            recursive_schedule(g3),
+            rank_order_schedule(g3),
+            random_topological_schedule(g3, seed=5),
+        ):
+            for rec in analysis.analyze(sched):
+                assert rec.satisfies_eq2(), rec
+
+    def test_counted_totals_conserved(self, g3, meta3):
+        analysis = SegmentAnalysis(g3, meta3, cache_size=2, k=1, threshold=24)
+        records = analysis.analyze(recursive_schedule(g3))
+        total_counted = sum(rec.counted for rec in records)
+        assert total_counted == int(analysis.counted_mask.sum())
+
+    def test_implied_lower_bound_nonnegative(self, g3, meta3):
+        analysis = SegmentAnalysis(g3, meta3, cache_size=2, k=1, threshold=24)
+        assert analysis.implied_lower_bound(recursive_schedule(g3)) >= 0
+
+    def test_default_k_too_large_raises(self, g3, meta3):
+        # paper k for a=4, M=64: ceil(log_4 4608) = 7 > r = 3.
+        with pytest.raises(PartitionError):
+            SegmentAnalysis(g3, meta3, cache_size=64)
+
+    def test_implied_bound_below_measured_io(self, g3, meta3):
+        """The segment argument's certified I/O never exceeds measured
+        I/O (soundness of the lower-bound reasoning on this run)."""
+        from repro.pebbling import simulate_io
+
+        M = 2
+        analysis = SegmentAnalysis(g3, meta3, cache_size=M, k=1, threshold=24)
+        sched = recursive_schedule(g3)
+        certified = analysis.implied_lower_bound(sched)
+        measured = simulate_io(g3, sched, max(M, 6)).total
+        assert certified <= measured

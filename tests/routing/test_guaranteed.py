@@ -1,0 +1,103 @@
+"""Tests for guaranteed dependencies (Section 7 definitions)."""
+
+import pytest
+
+from repro.bilinear import laderman, strassen
+from repro.cdag import build_cdag
+from repro.routing import (
+    count_guaranteed_dependencies,
+    guaranteed_dependencies,
+    input_row_col,
+    is_guaranteed_dependence,
+    output_row_col,
+)
+
+
+@pytest.fixture(scope="module")
+def g2():
+    return build_cdag(strassen(), 2)
+
+
+class TestRowCol:
+    def test_input_roundtrip(self, g2):
+        n = 4
+        seen = set()
+        for v in g2.inputs("A").tolist():
+            side, row, col = input_row_col(g2, v)
+            assert side == "A"
+            seen.add((row, col))
+        assert seen == {(r, c) for r in range(n) for c in range(n)}
+
+    def test_output_roundtrip(self, g2):
+        n = 4
+        seen = {output_row_col(g2, w) for w in g2.outputs().tolist()}
+        assert seen == {(r, c) for r in range(n) for c in range(n)}
+
+    def test_non_input_raises(self, g2):
+        with pytest.raises(ValueError):
+            input_row_col(g2, int(g2.products()[0]))
+
+    def test_non_output_raises(self, g2):
+        with pytest.raises(ValueError):
+            output_row_col(g2, int(g2.inputs()[0]))
+
+    def test_msd_first_digit_order(self, g2):
+        """The first tuple digit is the most significant block index."""
+        from repro.cdag import Region
+        from repro.utils.indexing import pair_index
+
+        # Input with digits (e1, e2) = (idx(1,0), idx(0,1)) should be
+        # row 1*2+0=2, col 0*2+1=1.
+        v = g2.vertex_id(
+            Region.ENC_A, 0, (pair_index(1, 0, 2), pair_index(0, 1, 2))
+        )
+        _, row, col = input_row_col(g2, v)
+        assert (row, col) == (2, 1)
+
+
+class TestGuaranteedDependencies:
+    def test_count_formula(self, g2):
+        deps = list(guaranteed_dependencies(g2))
+        assert len(deps) == count_guaranteed_dependencies(g2) == 2 * 2 ** (3 * 2)
+
+    def test_a_side_rows_match(self, g2):
+        for v, w in guaranteed_dependencies(g2, side="A"):
+            _, row, _ = input_row_col(g2, v)
+            out_row, _ = output_row_col(g2, w)
+            assert row == out_row
+
+    def test_b_side_cols_match(self, g2):
+        for v, w in guaranteed_dependencies(g2, side="B"):
+            _, _, col = input_row_col(g2, v)
+            _, out_col = output_row_col(g2, w)
+            assert col == out_col
+
+    def test_pairs_unique(self, g2):
+        deps = list(guaranteed_dependencies(g2))
+        assert len(set(deps)) == len(deps)
+
+    def test_is_guaranteed_consistent(self, g2):
+        dep_set = set(guaranteed_dependencies(g2))
+        for v in g2.inputs().tolist()[:8]:
+            for w in g2.outputs().tolist():
+                assert ((v, w) in dep_set) == is_guaranteed_dependence(g2, v, w)
+
+    def test_laderman_count(self):
+        g = build_cdag(laderman(), 1)
+        assert count_guaranteed_dependencies(g) == 2 * 27
+
+    def test_semantic_dependence(self, g2):
+        """Every guaranteed dependence is a true dataflow dependence:
+        perturbing the input changes the output."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((4, 4))
+        B = rng.standard_normal((4, 4))
+        for v, w in list(guaranteed_dependencies(g2, side="A"))[:16]:
+            side, row, col = input_row_col(g2, v)
+            orow, ocol = output_row_col(g2, w)
+            A2 = A.copy()
+            A2[row, col] += 1.0
+            delta = (A2 @ B) - (A @ B)
+            assert abs(delta[orow, ocol]) > 1e-12

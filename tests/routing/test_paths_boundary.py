@@ -1,0 +1,145 @@
+"""Tests for routing data structures and boundary-crossing counts."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear import strassen
+from repro.cdag import build_cdag, compute_metavertices
+from repro.errors import RoutingError
+from repro.routing import (
+    Routing,
+    claim1_routing,
+    concatenate_paths,
+    count_boundary_crossings,
+    crossing_delta_vertices,
+    theorem2_routing,
+    verify_path,
+)
+from repro.pebbling import boundary_sets
+
+
+@pytest.fixture(scope="module")
+def g1():
+    return build_cdag(strassen(), 1)
+
+
+class TestRoutingContainer:
+    def test_add_and_len(self, g1):
+        r = Routing(g1)
+        r.add([0, 1])
+        assert len(r) == 1
+
+    def test_empty_path_rejected(self, g1):
+        r = Routing(g1)
+        with pytest.raises(RoutingError):
+            r.add([])
+
+    def test_vertex_hits_multiplicity(self, g1):
+        r = Routing(g1)
+        r.add([0, 1, 0])
+        hits = r.vertex_hits()
+        assert hits[0] == 2
+        assert hits[1] == 1
+
+    def test_max_vertex_hits_empty(self, g1):
+        assert Routing(g1).max_vertex_hits() == 0
+
+    def test_meta_hits_per_path_dedup(self):
+        """A path visiting two members of a meta hits it once."""
+        g = build_cdag(strassen(), 2)
+        meta = compute_metavertices(g)
+        copy_v = int(np.nonzero(g.is_copy)[0][0])
+        parent = int(g.predecessors(copy_v)[0])
+        assert meta.label[copy_v] == meta.label[parent]
+        r = Routing(g)
+        r.add([parent, copy_v])
+        hits = r.meta_hits(meta)
+        assert hits[meta.label[copy_v]] == 1
+
+    def test_path_between(self, g1):
+        r = Routing(g1)
+        r.add([3, 5], source=3, target=5)
+        np.testing.assert_array_equal(r.path_between(3, 5), [3, 5])
+        with pytest.raises(RoutingError):
+            r.path_between(5, 3)
+
+    def test_endpoint_index(self, g1):
+        r = Routing(g1)
+        r.add([1, 2])
+        r.add([2, 3])
+        assert r.endpoint_index() == {(1, 2): 0, (2, 3): 1}
+
+
+class TestConcatenation:
+    def test_simple(self):
+        path = concatenate_paths([[1, 2, 3], [3, 4]], [False, False])
+        np.testing.assert_array_equal(path, [1, 2, 3, 4])
+
+    def test_with_reversal(self):
+        path = concatenate_paths([[1, 2, 3], [5, 4, 3]], [False, True])
+        np.testing.assert_array_equal(path, [1, 2, 3, 4, 5])
+
+    def test_junction_mismatch(self):
+        with pytest.raises(RoutingError):
+            concatenate_paths([[1, 2], [3, 4]], [False, False])
+
+    def test_zero_pieces(self):
+        with pytest.raises(RoutingError):
+            concatenate_paths([], [])
+
+
+class TestVerifyPath:
+    def test_valid_edge(self, g1):
+        v = int(g1.products()[0])
+        p = int(g1.predecessors(v)[0])
+        verify_path(g1, np.array([p, v]))
+        verify_path(g1, np.array([v, p]))  # direction ignored
+
+    def test_invalid_edge(self, g1):
+        ins = g1.inputs()
+        with pytest.raises(RoutingError):
+            verify_path(g1, np.array([int(ins[0]), int(ins[1])]))
+
+
+class TestBoundaryCrossings:
+    def test_case_analysis_lower_bound(self):
+        """Section 5's case analysis: if at most half the outputs of D_k
+        are in S, the routing has >= |S̄| * b^k / 2 crossing paths."""
+        g = build_cdag(strassen(), 2)
+        routing = claim1_routing(g)
+        outputs = g.outputs()
+        # S = a quarter of the outputs (and nothing else).
+        s_outputs = outputs[: len(outputs) // 4]
+        in_s = np.zeros(g.n_vertices, dtype=bool)
+        in_s[s_outputs] = True
+        counts = count_boundary_crossings(routing, in_s)
+        assert counts.n_crossing >= len(s_outputs) * 7**2 // 2
+
+    def test_delta_witness_subset_of_true_delta(self):
+        g = build_cdag(strassen(), 2)
+        routing = theorem2_routing(g)
+        segment = g.products()[:20]
+        in_s = np.zeros(g.n_vertices, dtype=bool)
+        in_s[segment] = True
+        witness = crossing_delta_vertices(routing, in_s)
+        r_set, w_set = boundary_sets(g, segment)
+        true_delta = set(r_set.tolist()) | set(w_set.tolist())
+        assert set(witness.tolist()) <= true_delta
+
+    def test_no_crossings_for_full_set(self):
+        g = build_cdag(strassen(), 1)
+        routing = theorem2_routing(g)
+        in_s = np.ones(g.n_vertices, dtype=bool)
+        counts = count_boundary_crossings(routing, in_s)
+        assert counts.n_crossing == 0
+
+    def test_pigeonhole_inequality(self):
+        """|delta from crossings| >= #crossing / m — the proofs' final
+        division step, checked on a real instance."""
+        g = build_cdag(strassen(), 2)
+        routing = theorem2_routing(g)
+        m = routing.max_vertex_hits()
+        in_s = np.zeros(g.n_vertices, dtype=bool)
+        in_s[g.outputs()[:5]] = True
+        counts = count_boundary_crossings(routing, in_s)
+        assert counts.n_delta_from_crossings * m >= counts.n_crossing

@@ -1,0 +1,147 @@
+"""Tests for the schedule families."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear import classical, laderman, strassen, winograd
+from repro.cdag import Region, build_cdag
+from repro.errors import ScheduleError
+from repro.schedules import (
+    classical_product_digits,
+    demand_driven_schedule,
+    loop_order_schedule,
+    random_product_order_schedule,
+    random_topological_schedule,
+    rank_order_schedule,
+    recursive_schedule,
+    validate_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def g2():
+    return build_cdag(strassen(), 2)
+
+
+ALL_FAMILIES = [
+    ("recursive", recursive_schedule),
+    ("rank", rank_order_schedule),
+    ("random_topo", lambda g: random_topological_schedule(g, seed=3)),
+    ("random_prod", lambda g: random_product_order_schedule(g, seed=3)),
+]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name,maker", ALL_FAMILIES)
+    def test_all_families_valid(self, g2, name, maker):
+        sched = maker(g2)
+        validate_schedule(g2, sched)  # raises on failure
+
+    @pytest.mark.parametrize(
+        "alg_maker", [winograd, laderman, lambda: classical(2)],
+        ids=["winograd", "laderman", "classical"],
+    )
+    def test_recursive_valid_across_algorithms(self, alg_maker):
+        g = build_cdag(alg_maker(), 2)
+        validate_schedule(g, recursive_schedule(g))
+
+    def test_validate_rejects_short(self, g2):
+        with pytest.raises(ScheduleError):
+            validate_schedule(g2, recursive_schedule(g2)[:-1])
+
+    def test_validate_rejects_input(self, g2):
+        sched = recursive_schedule(g2).copy()
+        sched[0] = int(g2.inputs()[0])
+        with pytest.raises(ScheduleError):
+            validate_schedule(g2, sched)
+
+
+class TestRecursive:
+    def test_products_in_lexicographic_order(self, g2):
+        sched = recursive_schedule(g2)
+        products = set(g2.products().tolist())
+        seen = [v for v in sched.tolist() if v in products]
+        assert seen == sorted(seen)
+
+    def test_subcomputation_contiguity(self):
+        """Depth-first property: each G_1 copy's products form a
+        contiguous block of the product subsequence."""
+        g = build_cdag(strassen(), 3)
+        sched = recursive_schedule(g)
+        products = set(g.products().tolist())
+        prod_seq = [v - int(g.products()[0]) for v in sched.tolist() if v in products]
+        # Copy index of product p at k=1 is p // b.
+        copies = [p // 7 for p in prod_seq]
+        # Each copy appears as one contiguous run.
+        runs = [c for i, c in enumerate(copies) if i == 0 or copies[i - 1] != c]
+        assert len(runs) == len(set(runs))
+
+    def test_outputs_last_vertex(self, g2):
+        sched = recursive_schedule(g2)
+        # The final vertex computed is an output (top decoding rank).
+        assert int(sched[-1]) in set(g2.outputs().tolist())
+
+
+class TestDemandDriven:
+    def test_rejects_bad_permutation(self, g2):
+        with pytest.raises(ScheduleError):
+            demand_driven_schedule(g2, np.zeros(len(g2.products()), dtype=int))
+
+    def test_identity_matches_recursive(self, g2):
+        np.testing.assert_array_equal(
+            demand_driven_schedule(g2, np.arange(49)), recursive_schedule(g2)
+        )
+
+    def test_decoder_emitted_eagerly(self, g2):
+        """Every decoder vertex appears right after its last operand."""
+        sched = recursive_schedule(g2).tolist()
+        pos = {v: i for i, v in enumerate(sched)}
+        for v in g2.slab_vertices(Region.DEC, 1).tolist():
+            last_operand = max(pos[int(p)] for p in g2.predecessors(v))
+            assert pos[v] > last_operand
+
+
+class TestLoopOrder:
+    def test_requires_classical(self, g2):
+        with pytest.raises(ScheduleError):
+            loop_order_schedule(g2, "ijk")
+
+    def test_digits_shape(self):
+        g = build_cdag(classical(2), 2)
+        digits = classical_product_digits(g)
+        assert digits.shape == (64, 3)
+        # All (I, J, K) triples appear exactly once.
+        triples = {tuple(row) for row in digits.tolist()}
+        assert len(triples) == 64
+
+    @pytest.mark.parametrize("order", ["ijk", "kji", "jik"])
+    def test_loop_orders_valid(self, order):
+        g = build_cdag(classical(2), 2)
+        validate_schedule(g, loop_order_schedule(g, order))
+
+    def test_bad_order_string(self):
+        g = build_cdag(classical(2), 2)
+        with pytest.raises(ScheduleError):
+            loop_order_schedule(g, "iij")
+
+    def test_ijk_product_order(self):
+        g = build_cdag(classical(2), 2)
+        sched = loop_order_schedule(g, "ijk")
+        digits = classical_product_digits(g)
+        products = g.products()
+        offset = int(products[0])
+        seq = [v - offset for v in sched.tolist() if offset <= v < offset + 64]
+        keys = [tuple(digits[p]) for p in seq]
+        assert keys == sorted(keys)
+
+
+class TestRandom:
+    def test_seeded_reproducible(self, g2):
+        a = random_topological_schedule(g2, seed=11)
+        b = random_topological_schedule(g2, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, g2):
+        a = random_topological_schedule(g2, seed=1)
+        b = random_topological_schedule(g2, seed=2)
+        assert not np.array_equal(a, b)

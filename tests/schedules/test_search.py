@@ -1,0 +1,56 @@
+"""Tests for the schedule local search."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear import strassen
+from repro.cdag import build_cdag
+from repro.schedules import search_schedule, validate_schedule, demand_driven_schedule
+
+
+@pytest.fixture(scope="module")
+def g2():
+    return build_cdag(strassen(), 2)
+
+
+class TestSearchSchedule:
+    def test_never_worse_than_start(self, g2):
+        res = search_schedule(g2, cache_size=16, budget=15, seed=1)
+        assert res.best_io <= res.start_io
+
+    def test_improves_random_start(self, g2):
+        rng = np.random.default_rng(3)
+        res = search_schedule(
+            g2, cache_size=16, start_order=rng.permutation(49),
+            budget=40, seed=4,
+        )
+        assert res.best_io <= res.start_io
+        # Random starts are bad enough that the climb finds something.
+        assert res.improvement >= 0.0
+
+    def test_recursive_is_local_optimum_ish(self, g2):
+        """The recursive order resists a small search budget — the
+        near-optimality evidence the E9 sandwich relies on."""
+        res = search_schedule(g2, cache_size=16, budget=30, seed=7)
+        assert res.improvement < 0.05
+
+    def test_best_order_is_valid(self, g2):
+        rng = np.random.default_rng(9)
+        res = search_schedule(
+            g2, cache_size=16, start_order=rng.permutation(49),
+            budget=10, seed=2,
+        )
+        sched = demand_driven_schedule(g2, res.best_product_order)
+        validate_schedule(g2, sched)
+
+    def test_budget_respected(self, g2):
+        res = search_schedule(g2, cache_size=16, budget=5, seed=1)
+        assert res.evaluations <= 5
+
+    def test_bad_budget(self, g2):
+        with pytest.raises(ValueError):
+            search_schedule(g2, cache_size=16, budget=0)
+
+    def test_improvement_property(self, g2):
+        res = search_schedule(g2, cache_size=16, budget=3, seed=1)
+        assert 0.0 <= res.improvement < 1.0

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "strassen" in out
+        assert "laderman" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "256", "--M", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+
+    def test_bounds_parallel(self, capsys):
+        assert main(
+            ["bounds", "--n", "256", "--M", "64", "--P", "7"]
+        ) == 0
+        assert "memory-independent" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--r", "2", "--M", "16", "--schedule", "recursive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total=" in out
+
+    def test_simulate_random_schedule(self, capsys):
+        assert main(
+            ["simulate", "--r", "2", "--M", "16", "--schedule", "random",
+             "--seed", "4"]
+        ) == 0
+
+    def test_route_verified(self, capsys):
+        assert main(["route", "--alg", "strassen", "--k", "1"]) == 0
+        assert "VERIFIED: True" in capsys.readouterr().out
+
+    def test_caps(self, capsys):
+        assert main(
+            ["caps", "--n", "64", "--P", "7", "--M", "100000"]
+        ) == 0
+        assert "bandwidth cost" in capsys.readouterr().out
+
+    def test_render_ascii(self, capsys):
+        assert main(["render", "--alg", "strassen"]) == 0
+        assert "rank" in capsys.readouterr().out
+
+    def test_render_dot(self, capsys):
+        assert main(["render", "--alg", "strassen", "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_experiments_selected(self, capsys):
+        assert main(["experiments", "E1"]) == 0
+        assert "reproduced" in capsys.readouterr().out

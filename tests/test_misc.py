@@ -1,0 +1,89 @@
+"""Miscellaneous coverage: error hierarchy, RNG helpers, doctests, and
+package-level API surface."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.utils.rngs import DEFAULT_SEED, make_rng
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_brent_is_algorithm_error(self):
+        assert issubclass(errors.BrentEquationError, errors.AlgorithmError)
+
+    def test_hall_is_routing_error(self):
+        assert issubclass(errors.HallConditionError, errors.RoutingError)
+
+    def test_brent_carries_index(self):
+        exc = errors.BrentEquationError("boom", index=(0, 1, 0, 1, 0, 1))
+        assert exc.index == (0, 1, 0, 1, 0, 1)
+
+    def test_hall_carries_certificate(self):
+        exc = errors.HallConditionError("boom", violating_set=[1], neighborhood=[2])
+        assert exc.violating_set == [1]
+        assert exc.neighborhood == [2]
+
+
+class TestMakeRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1000, size=5)
+        b = np.random.default_rng(DEFAULT_SEED).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed(self):
+        np.testing.assert_array_equal(
+            make_rng(5).integers(0, 100, 3), make_rng(5).integers(0, 100, 3)
+        )
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.utils.indexing",
+            "repro.utils.unionfind",
+            "repro.utils.tables",
+            "repro.utils.flow",
+        ],
+    )
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        failures, _ = doctest.testmod(module)
+        assert failures == 0
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_exports(self):
+        import importlib
+
+        for pkg in (
+            "repro.bilinear", "repro.cdag", "repro.pebbling",
+            "repro.schedules", "repro.routing", "repro.bounds",
+            "repro.parallel", "repro.linalg", "repro.tracesim",
+            "repro.utils",
+        ):
+            module = importlib.import_module(pkg)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{pkg}.{name}"

@@ -1,0 +1,130 @@
+"""Tests for the trace-driven cache simulators."""
+
+import numpy as np
+import pytest
+
+from repro.bilinear import strassen
+from repro.tracesim import (
+    FullyAssociativeLRU,
+    SetAssociativeLRU,
+    trace_blocked,
+    trace_ijk,
+    trace_strassen_recursive,
+)
+
+
+class TestFullyAssociativeLRU:
+    def test_hit_after_miss(self):
+        cache = FullyAssociativeLRU(2)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = FullyAssociativeLRU(2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # refresh 0
+        cache.access(2)  # evicts 1
+        assert cache.access(0)
+        assert not cache.access(1)
+
+    def test_writeback_only_dirty(self):
+        cache = FullyAssociativeLRU(1)
+        cache.access(0, is_write=True)
+        cache.access(1)  # evicts dirty 0 -> writeback
+        cache.access(2)  # evicts clean 1 -> free
+        assert cache.stats.writebacks == 1
+
+    def test_flush_writes_dirty(self):
+        cache = FullyAssociativeLRU(4)
+        cache.access(0, is_write=True)
+        cache.access(1)
+        cache.flush()
+        assert cache.stats.writebacks == 1
+
+    def test_line_granularity(self):
+        cache = FullyAssociativeLRU(1, line_size=4)
+        cache.access(0)
+        assert cache.access(3)  # same line
+        assert not cache.access(4)  # next line
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeLRU(0)
+
+
+class TestSetAssociativeLRU:
+    def test_conflict_misses(self):
+        # 2 sets, 1 way: addresses 0 and 2 conflict (same set).
+        cache = SetAssociativeLRU(n_sets=2, ways=1)
+        cache.access(0)
+        cache.access(2)
+        assert not cache.access(0)  # was evicted by the conflict
+
+    def test_fully_associative_equivalence(self):
+        """1 set with W ways == fully associative with capacity W."""
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 50, size=500).tolist()
+        fa = FullyAssociativeLRU(8)
+        sa = SetAssociativeLRU(1, 8)
+        for addr in addrs:
+            fa.access(addr)
+            sa.access(addr)
+        assert fa.stats.misses == sa.stats.misses
+
+    def test_capacity_lines(self):
+        assert SetAssociativeLRU(4, 2).capacity_lines == 8
+
+
+class TestTraces:
+    def test_ijk_access_count(self):
+        n = 6
+        assert sum(1 for _ in trace_ijk(n)) == 4 * n**3
+
+    def test_blocked_same_reference_multiset(self):
+        """Blocking reorders but does not change the reference multiset
+        (up to order)."""
+        n, block = 6, 2
+        ref_ijk = sorted(trace_ijk(n))
+        ref_blk = sorted(trace_blocked(n, block))
+        assert ref_ijk == ref_blk
+
+    def test_blocked_beats_ijk(self):
+        n, M = 32, 96
+        io_ijk = FullyAssociativeLRU(M).run(trace_ijk(n)).io
+        io_blk = FullyAssociativeLRU(M).run(trace_blocked(n, 5)).io
+        assert io_blk < io_ijk
+
+    def test_blocking_shape_hong_kung(self):
+        """Doubling the block (with cache to hold it) roughly halves the
+        I/O — the n^3/sqrt(M) law."""
+        n = 32
+        io4 = FullyAssociativeLRU(3 * 16 + 8).run(trace_blocked(n, 4)).io
+        io8 = FullyAssociativeLRU(3 * 64 + 16).run(trace_blocked(n, 8)).io
+        ratio = io4 / io8
+        assert 1.5 < ratio < 3.0
+
+    def test_huge_cache_compulsory_only(self):
+        n = 8
+        stats = FullyAssociativeLRU(10**6).run(trace_ijk(n))
+        # Compulsory misses: 3 n^2 distinct words; writebacks: n^2 C words.
+        assert stats.misses == 3 * n * n
+        assert stats.writebacks == n * n
+
+    def test_strassen_trace_runs(self):
+        stats = FullyAssociativeLRU(256).run(
+            trace_strassen_recursive(strassen(), 16, cutoff=4)
+        )
+        assert stats.io > 0
+
+    def test_strassen_trace_io_decreases_with_cache(self):
+        t = lambda: trace_strassen_recursive(strassen(), 32, cutoff=4)
+        small = FullyAssociativeLRU(64).run(t()).io
+        large = FullyAssociativeLRU(2048).run(t()).io
+        assert large < small
+
+    def test_strassen_trace_requires_power(self):
+        with pytest.raises(ValueError):
+            list(trace_strassen_recursive(strassen(), 6))

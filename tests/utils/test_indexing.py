@@ -1,0 +1,157 @@
+"""Unit and property tests for mixed-radix indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.indexing import (
+    MixedRadix,
+    digits_to_int,
+    int_to_digits,
+    pack_tuple,
+    pair_index,
+    pair_unindex,
+    unpack_tuple,
+)
+
+
+class TestDigitsToInt:
+    def test_uniform_base_example(self):
+        assert digits_to_int([1, 0, 2], 3) == 11
+
+    def test_empty_digits(self):
+        assert digits_to_int([], 5) == 0
+
+    def test_single_digit(self):
+        assert digits_to_int([4], 7) == 4
+
+    def test_msd_first(self):
+        # digit 0 is most significant
+        assert digits_to_int([1, 0], 10) == 10
+
+    def test_out_of_range_digit_raises(self):
+        with pytest.raises(ValueError):
+            digits_to_int([3], 3)
+
+    def test_negative_digit_raises(self):
+        with pytest.raises(ValueError):
+            digits_to_int([-1], 3)
+
+
+class TestIntToDigits:
+    def test_example(self):
+        assert int_to_digits(11, 3, 3) == (1, 0, 2)
+
+    def test_zero_padding(self):
+        assert int_to_digits(1, 2, 4) == (0, 0, 0, 1)
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_digits(8, 2, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_digits(-1, 2, 3)
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=1, max_value=8),
+        st.data(),
+    )
+    def test_roundtrip(self, radix, length, data):
+        value = data.draw(
+            st.integers(min_value=0, max_value=radix**length - 1)
+        )
+        assert digits_to_int(int_to_digits(value, radix, length), radix) == value
+
+
+class TestMixedRadix:
+    def test_size(self):
+        assert MixedRadix([7, 7, 4]).size == 196
+
+    def test_pack_unpack_example(self):
+        mr = MixedRadix([7, 7, 4])
+        assert mr.pack((6, 0, 3)) == 171
+        assert mr.unpack(171) == (6, 0, 3)
+
+    def test_empty(self):
+        mr = MixedRadix([])
+        assert mr.size == 1
+        assert mr.pack(()) == 0
+        assert mr.unpack(0) == ()
+
+    def test_len(self):
+        assert len(MixedRadix([2, 3, 4])) == 3
+
+    def test_nonuniform_radices(self):
+        mr = MixedRadix([2, 3])
+        seen = {mr.pack((d0, d1)) for d0 in range(2) for d1 in range(3)}
+        assert seen == set(range(6))
+
+    def test_pack_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            MixedRadix([2, 2]).pack((1,))
+
+    def test_pack_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            MixedRadix([2, 2]).pack((1, 2))
+
+    def test_unpack_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            MixedRadix([2, 2]).unpack(4)
+
+    def test_zero_radix_raises(self):
+        with pytest.raises(ValueError):
+            MixedRadix([2, 0])
+
+    @given(st.lists(st.integers(min_value=1, max_value=6), max_size=6), st.data())
+    def test_roundtrip_property(self, radices, data):
+        mr = MixedRadix(radices)
+        value = data.draw(st.integers(min_value=0, max_value=mr.size - 1))
+        assert mr.pack(mr.unpack(value)) == value
+
+    def test_pack_array_matches_scalar(self):
+        mr = MixedRadix([3, 5, 2])
+        values = np.arange(mr.size)
+        cols = mr.unpack_array(values)
+        repacked = mr.pack_array(cols)
+        np.testing.assert_array_equal(repacked, values)
+
+    def test_unpack_array_matches_scalar(self):
+        mr = MixedRadix([4, 3])
+        for v in range(mr.size):
+            cols = mr.unpack_array(np.array([v]))
+            assert tuple(int(c[0]) for c in cols) == mr.unpack(v)
+
+    def test_pack_array_wrong_columns_raises(self):
+        mr = MixedRadix([2, 2])
+        with pytest.raises(ValueError):
+            mr.pack_array([np.array([0])])
+
+
+class TestOneShotHelpers:
+    def test_pack_tuple(self):
+        assert pack_tuple((1, 1), (2, 2)) == 3
+
+    def test_unpack_tuple(self):
+        assert unpack_tuple(3, (2, 2)) == (1, 1)
+
+
+class TestPairIndex:
+    def test_row_major(self):
+        assert pair_index(0, 0, 3) == 0
+        assert pair_index(0, 2, 3) == 2
+        assert pair_index(1, 0, 3) == 3
+        assert pair_index(2, 2, 3) == 8
+
+    def test_unindex_roundtrip(self):
+        n = 4
+        for e in range(n * n):
+            r, c = pair_unindex(e, n)
+            assert pair_index(r, c, n) == e
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pair_index(3, 0, 3)
+        with pytest.raises(ValueError):
+            pair_unindex(9, 3)

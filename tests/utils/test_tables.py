@@ -1,0 +1,65 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_count, format_ratio
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        t = TextTable(["k", "bound"])
+        t.add_row([1, 77])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "k"
+        assert "77" in lines[2]
+
+    def test_title(self):
+        t = TextTable(["a"], title="E3")
+        t.add_row([1])
+        assert t.render().startswith("E3")
+
+    def test_alignment_numeric_right(self):
+        t = TextTable(["name", "value"])
+        t.add_row(["x", 1])
+        t.add_row(["longer", 100])
+        lines = t.render().splitlines()
+        # numeric column is right-aligned: shorter number padded on left
+        assert lines[-2].endswith("    1")
+
+    def test_wrong_cell_count_raises(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = TextTable(["v"])
+        t.add_row([3.14159])
+        assert "3.142" in t.render()
+
+    def test_large_float_scientific(self):
+        t = TextTable(["v"])
+        t.add_row([1.5e9])
+        assert "e+09" in t.render()
+
+    def test_str_dunder(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestFormatters:
+    def test_format_count_int(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_format_count_integral_float(self):
+        assert format_count(12.0) == "12"
+
+    def test_format_count_fractional(self):
+        assert format_count(12.345) == "12.35"
+
+    def test_format_ratio(self):
+        assert format_ratio(1, 2) == "0.500"
+
+    def test_format_ratio_zero_denominator(self):
+        assert format_ratio(1, 0) == "-"

@@ -1,0 +1,101 @@
+"""Unit and property tests for the union-find structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert len(uf) == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.n_components == 3
+
+    def test_union_same_component_returns_false(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 2
+
+    def test_connected(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.connected(0, 1)
+        assert not uf.connected(1, 2)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+
+    def test_component_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(3) == 1
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 2)
+        groups = uf.groups()
+        members = sorted(sorted(g) for g in groups.values())
+        assert members == [[0, 2], [1], [3]]
+
+    def test_labels_consistent_with_find(self):
+        uf = UnionFind(6)
+        uf.union(0, 5)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels[0] == labels[5]
+        assert labels[2] == labels[3]
+        assert labels[1] != labels[0]
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert uf.n_components == 0
+        assert uf.groups() == {}
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39))),
+    )
+    def test_components_match_naive(self, n, edges):
+        """Component count and membership must match a naive BFS."""
+        edges = [(a % n, b % n) for a, b in edges]
+        uf = UnionFind(n)
+        for a, b in edges:
+            uf.union(a, b)
+
+        # Naive: BFS over adjacency.
+        adj = {i: set() for i in range(n)}
+        for a, b in edges:
+            adj[a].add(b)
+            adj[b].add(a)
+        seen = set()
+        n_comp = 0
+        comp_of = {}
+        for start in range(n):
+            if start in seen:
+                continue
+            n_comp += 1
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                if v in seen:
+                    continue
+                seen.add(v)
+                comp_of[v] = n_comp
+                stack.extend(adj[v] - seen)
+        assert uf.n_components == n_comp
+        for a in range(n):
+            for b in range(n):
+                assert uf.connected(a, b) == (comp_of[a] == comp_of[b])

@@ -1,0 +1,81 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int(4.0, "x") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_int("three", "x")
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="cache_size"):
+            check_positive_int(-1, "cache_size")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1, 1, 3, "x") == 1
+        assert check_in_range(3, 1, 3, "x") == 3
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(0, 1, 3, "x")
+        with pytest.raises(ValueError):
+            check_in_range(4, 1, 3, "x")
+
+
+class TestCheckPower:
+    def test_exact_powers(self):
+        assert check_power(1, 2, "n") == 0
+        assert check_power(8, 2, "n") == 3
+        assert check_power(27, 3, "n") == 3
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            check_power(6, 2, "n")
+        with pytest.raises(ValueError):
+            check_power(12, 3, "n")
+
+    def test_base_one(self):
+        assert check_power(1, 1, "n") == 0
+        with pytest.raises(ValueError):
+            check_power(2, 1, "n")
