@@ -2,9 +2,21 @@
 
 Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
 and asserts every paper-claim check; pytest-benchmark tracks the
-regeneration cost.
+regeneration cost.  The sweep variant fans the (r_max, cache-size) grid
+out on the parallel runner and verifies the warm rerun is served from
+the on-disk cache.
 """
 
 
 def test_e9_io_sweep(run_experiment):
     run_experiment("E9")
+
+
+def test_e9_sweep_via_runner(run_sweep_benchmark):
+    from repro.runner import expand_grid
+
+    specs = expand_grid(
+        "E9",
+        {"r_max": [3, 4], "cache_sizes": [[12, 24], [12, 24, 48]]},
+    )
+    run_sweep_benchmark(specs, workers=2)

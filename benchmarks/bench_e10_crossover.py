@@ -2,9 +2,20 @@
 
 Regenerates the experiment's report tables (recorded in EXPERIMENTS.md)
 and asserts every paper-claim check; pytest-benchmark tracks the
-regeneration cost.
+regeneration cost.  The sweep variant fans trace sizes out on the
+parallel runner and merges the per-worker trace-cache counters.
 """
 
 
 def test_e10_crossover(run_experiment):
     run_experiment("E10")
+
+
+def test_e10_sweep_via_runner(run_sweep_benchmark):
+    from repro.runner import expand_grid, merged_cache_stats
+
+    specs = expand_grid("E10", {"trace_n": [32, 64]})
+    outcomes = run_sweep_benchmark(specs, workers=2)
+    merged = merged_cache_stats(outcomes)
+    assert set(merged) == {"blocked-classical", "recursive-strassen"}
+    assert all(s.io > 0 for s in merged.values())

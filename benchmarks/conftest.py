@@ -30,3 +30,40 @@ def run_experiment(benchmark, capsys):
         return result
 
     return runner
+
+
+@pytest.fixture
+def run_sweep_benchmark(benchmark, capsys, tmp_path):
+    """Benchmark a parameter sweep routed through the parallel runner.
+
+    Runs the cold sweep under pytest-benchmark (2 workers, fresh
+    on-disk cache), then re-runs it warm and asserts the rerun is
+    served entirely from the cache — the runner's contract.
+    """
+
+    def runner(specs, workers: int = 2, **kw):
+        from repro.runner import (
+            EventLog, ResultStore, render_sweep, run_sweep, sweep_ok,
+        )
+
+        store = ResultStore(tmp_path / "sweep-cache")
+        outcomes = benchmark.pedantic(
+            lambda: run_sweep(
+                specs, store, workers=workers, progress=False, **kw
+            ),
+            iterations=1, rounds=1,
+        )
+        with capsys.disabled():
+            print()
+            print(render_sweep(outcomes, show_results=False))
+        assert sweep_ok(outcomes), "sweep failed jobs or paper-claim checks"
+        warm_events = EventLog()
+        warm = run_sweep(
+            specs, store, workers=workers, progress=False,
+            events=warm_events, **kw
+        )
+        assert warm_events.counts["cache_hit"] == len(specs)
+        assert all(o.cached for o in warm)
+        return outcomes
+
+    return runner

@@ -8,6 +8,8 @@ Subcommands:
 - ``route``                 — build and verify a Theorem-2 certificate;
 - ``caps``                  — simulate parallel bandwidth for (n, P, M);
 - ``experiments``           — run the reproduction experiments;
+- ``sweep``                 — parallel experiment sweep with an on-disk
+  result cache, per-job timeouts, retries, and a JSONL event log;
 - ``render``                — DOT/ASCII rendering of a base graph.
 
 Everything the CLI prints is computed by the same public API the tests
@@ -73,6 +75,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="run reproduction experiments")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    p_exp.add_argument(
+        "--list", action="store_true", dest="list_only",
+        help="list registered experiment ids and exit",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run experiments in parallel with caching and retries",
+        description=(
+            "Expand experiment ids (optionally with parameter grids and "
+            "seeds) into jobs, run them on a process pool, cache every "
+            "artifact on disk, and aggregate the results.  Re-running an "
+            "identical sweep is served from the cache; an interrupted "
+            "sweep resumes where it stopped."
+        ),
+    )
+    p_sweep.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    p_sweep.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes (default 2)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-store root (default .repro-cache)",
+    )
+    mode = p_sweep.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--resume", action="store_true",
+        help="reuse cached artifacts (the default; flag kept explicit "
+             "for resuming interrupted sweeps)",
+    )
+    mode.add_argument(
+        "--fresh", action="store_true",
+        help="ignore the cache and recompute (overwrites artifacts)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock limit (default: none)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="failed attempts each job may absorb beyond the first "
+             "(default 1)",
+    )
+    p_sweep.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base retry backoff, doubling per failure (default 0.25)",
+    )
+    p_sweep.add_argument(
+        "--param", action="append", default=[], metavar="[EXP:]key=v1,v2",
+        help="sweep a parameter over values, e.g. 'E9:r_max=3,4' "
+             "(repeatable; without EXP: applies to every selected id)",
+    )
+    p_sweep.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="fan seed-aware experiments over explicit seeds "
+             "(each seed is a distinct cached job)",
+    )
+    p_sweep.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="JSONL event log (default <cache-dir>/events.jsonl)",
+    )
+    p_sweep.add_argument(
+        "--quiet", action="store_true",
+        help="print only the summary, not each experiment report",
+    )
 
     p_render = sub.add_parser("render", help="render a base graph")
     p_render.add_argument("--alg", default="strassen")
@@ -188,7 +256,84 @@ def _cmd_caps(args) -> int:
 def _cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main(args.ids)
+    argv = list(args.ids)
+    if args.list_only:
+        argv.append("--list")
+    return experiments_main(argv)
+
+
+def _parse_value(text: str):
+    """CLI grid values: JSON when it parses, bare string otherwise."""
+    import json
+
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_param_specs(specs: list[str], ids: list[str]) -> dict[str, dict]:
+    """``['E9:r_max=3,4', 'k=1,2']`` -> per-experiment grid dicts."""
+    grids: dict[str, dict] = {eid: {} for eid in ids}
+    for spec in specs:
+        head, _, values = spec.partition("=")
+        if not values:
+            raise SystemExit(
+                f"--param needs the form [EXP:]key=v1,v2 (got {spec!r})"
+            )
+        exp, _, key = head.rpartition(":")
+        targets = [exp] if exp else ids
+        parsed = [_parse_value(v) for v in values.split(",")]
+        for eid in targets:
+            if eid not in grids:
+                raise SystemExit(
+                    f"--param {spec!r} names {eid!r}, which is not in the "
+                    f"selected experiments {ids}"
+                )
+            grids[eid][key] = parsed
+    return grids
+
+
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments import list_experiments
+    from repro.runner import (
+        EventLog,
+        ResultStore,
+        expand_grid,
+        experiment_accepts_seed,
+        render_sweep,
+        run_sweep,
+        sweep_ok,
+    )
+
+    ids = args.ids or list_experiments()
+    grids = _parse_param_specs(args.param, ids)
+    seeds = (
+        [int(s) for s in args.seeds.split(",")] if args.seeds else None
+    )
+    specs = []
+    for eid in ids:
+        fan = seeds if (seeds and experiment_accepts_seed(eid)) else None
+        specs.extend(expand_grid(eid, grids.get(eid), seeds=fan))
+
+    store = ResultStore(args.cache_dir)
+    events_path = args.events or str(Path(args.cache_dir) / "events.jsonl")
+    with EventLog(events_path) as events:
+        outcomes = run_sweep(
+            specs,
+            store,
+            workers=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            fresh=args.fresh,
+            events=events,
+        )
+    print(render_sweep(outcomes, show_results=not args.quiet))
+    print(f"cache: {args.cache_dir}  events: {events_path}")
+    return 0 if sweep_ok(outcomes) else 1
 
 
 def _cmd_render(args) -> int:
@@ -214,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_caps(args)
     if args.command == "experiments":
         return _cmd_experiments(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "render":
         return _cmd_render(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -2,19 +2,70 @@
 
 Usage::
 
-    python -m repro.experiments            # run everything
-    python -m repro.experiments E4 E9      # run selected
+    python -m repro.experiments                # run everything, serially
+    python -m repro.experiments E4 E9          # run selected
+    python -m repro.experiments --list         # list ids and exit
+    python -m repro.experiments --jobs 4       # fan out on a process pool
+
+Exits nonzero when any experiment's paper-claim check fails (or any job
+fails), so CI can gate on the reproduction.  With ``--jobs > 1`` the run
+is routed through :mod:`repro.runner` — the parallel scheduler with the
+on-disk result cache (``--cache-dir``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.experiments import get_experiment, list_experiments
 
 
+def _describe(experiment_id: str) -> str:
+    """First docstring line of the experiment's module."""
+    fn = get_experiment(experiment_id)
+    doc = sys.modules.get(fn.__module__, None)
+    doc = (doc.__doc__ or "") if doc is not None else ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
 def main(argv: list[str]) -> int:
-    ids = argv or list_experiments()
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Run the reproduction experiments (E1..E14).",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_only",
+        help="list registered experiment ids and exit",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; >1 routes through the sweep runner",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache for --jobs > 1 (default: no cache)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_only:
+        for experiment_id in list_experiments():
+            print(f"{experiment_id:5s} {_describe(experiment_id)}")
+        return 0
+
+    ids = args.ids or list_experiments()
+
+    if args.jobs > 1:
+        from repro.runner import (
+            ResultStore, jobs_for_ids, render_sweep, run_sweep, sweep_ok,
+        )
+
+        store = ResultStore(args.cache_dir) if args.cache_dir else None
+        outcomes = run_sweep(jobs_for_ids(ids), store, workers=args.jobs)
+        print(render_sweep(outcomes))
+        return 0 if sweep_ok(outcomes) else 1
+
     failures = []
     for experiment_id in ids:
         result = get_experiment(experiment_id)()

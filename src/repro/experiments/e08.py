@@ -31,7 +31,9 @@ __all__ = ["run"]
 
 
 @register("E8")
-def run(r: int = 3, k: int = 1, threshold: int = 24) -> ExperimentResult:
+def run(
+    r: int = 3, k: int = 1, threshold: int = 24, seed: int = 13
+) -> ExperimentResult:
     alg = strassen()
     g = build_cdag(alg, r)
     meta = compute_metavertices(g)
@@ -57,7 +59,7 @@ def run(r: int = 3, k: int = 1, threshold: int = 24) -> ExperimentResult:
     schedules = [
         ("recursive", recursive_schedule(g)),
         ("rank-order", rank_order_schedule(g)),
-        ("random", random_topological_schedule(g, seed=13)),
+        ("random", random_topological_schedule(g, seed=seed)),
     ]
     for name, sched in schedules:
         records = analysis.analyze(sched)

@@ -1,0 +1,487 @@
+"""Process-pool sweep scheduler: timeouts, retries, crash isolation.
+
+:func:`run_sweep` drives a set of :class:`JobSpec` through a
+``ProcessPoolExecutor`` and returns one :class:`JobOutcome` per spec.
+Fault model:
+
+- **cache hits** — specs whose artifact is already in the store are
+  answered without touching the pool (skipped with ``fresh=True``);
+- **ordinary exceptions** raised by a job are charged as failed
+  attempts and retried with exponential backoff up to ``retries``
+  times; the final failure keeps the full retry history;
+- **per-job timeouts** — a job running past ``timeout`` seconds has
+  its worker killed and is charged a ``timeout`` attempt; innocent
+  jobs sharing the pool are resubmitted without charge;
+- **worker crashes** (segfault, ``os._exit``, OOM-kill) break the
+  whole executor, and the stdlib cannot say *which* in-flight job
+  crashed.  The scheduler rebuilds the pool and re-runs every suspect
+  in **quarantine** (solo, one at a time), where a repeat crash is
+  attributable with certainty.  Deterministic crashers therefore
+  exhaust their retries and are recorded as failed, while innocent
+  bystanders complete — the sweep always runs to the end.
+
+Workers execute :func:`_execute_job` — a module-level function so it
+pickles by reference — which resolves the experiment registry (or an
+explicit entrypoint), threads explicit seeds, and serialises the
+result before it crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.runner.events import EventLog, ProgressLine
+from repro.runner.jobs import JobSpec, accepts_seed, resolve_entrypoint
+from repro.runner.store import ResultStore, result_to_payload
+
+__all__ = ["Attempt", "JobOutcome", "run_sweep"]
+
+#: Attempt kinds that are *charged* against the retry budget (the
+#: job itself was at fault).  ``pool-lost`` marks collateral damage —
+#: the job was in flight when another job killed the pool — and is
+#: recorded but never charged.
+CHARGED_KINDS = frozenset({"error", "crash", "timeout"})
+
+_WAIT_TICK = 0.05  # scheduler poll interval, seconds
+_MAX_BACKOFF = 30.0
+
+
+@dataclass
+class Attempt:
+    """One execution attempt of a job."""
+
+    index: int
+    kind: str  # "ok" | "error" | "crash" | "timeout" | "pool-lost"
+    error: str | None = None
+    duration: float | None = None
+    worker: int | None = None
+
+    @property
+    def charged(self) -> bool:
+        return self.kind in CHARGED_KINDS
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "error": self.error,
+            "duration": self.duration,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one sweep job."""
+
+    spec: JobSpec
+    key: str
+    status: str  # "ok" | "cached" | "failed"
+    attempts: list[Attempt] = field(default_factory=list)
+    payload: dict | None = None
+    error: str | None = None
+    duration: float | None = None
+    worker: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "cached"
+
+    @property
+    def retry_history(self) -> list[dict]:
+        return [a.as_dict() for a in self.attempts]
+
+
+class _JobState:
+    """Scheduler-internal mutable companion of a spec."""
+
+    __slots__ = (
+        "spec", "key", "attempts", "charged_failures", "ready_at",
+        "started_at", "quarantined", "job_doc",
+    )
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.key = spec.cache_key
+        self.attempts: list[Attempt] = []
+        self.charged_failures = 0
+        self.ready_at = 0.0
+        self.started_at: float | None = None
+        self.quarantined = False
+        self.job_doc = {
+            "experiment_id": spec.experiment_id,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "entrypoint": spec.entrypoint,
+        }
+
+
+def _execute_job(job_doc: dict) -> dict:
+    """Worker-side job body (module-level: pickled by reference)."""
+    t0 = time.perf_counter()
+    spec = JobSpec(
+        job_doc["experiment_id"],
+        job_doc["params"],
+        seed=job_doc.get("seed"),
+        entrypoint=job_doc.get("entrypoint"),
+    )
+    fn = resolve_entrypoint(spec)
+    kwargs = dict(spec.params)
+    if spec.seed is not None:
+        if not accepts_seed(fn):
+            raise TypeError(
+                f"job {spec.label!r} carries an explicit seed but "
+                f"{getattr(fn, '__name__', fn)!r} takes no 'seed' argument"
+            )
+        kwargs["seed"] = spec.seed
+    result = fn(**kwargs)
+    # Local import keeps worker startup lazy on the common path.
+    from repro.experiments.harness import ExperimentResult
+
+    if isinstance(result, ExperimentResult):
+        payload = result_to_payload(result)
+    elif isinstance(result, dict):
+        payload = {
+            "experiment_id": spec.experiment_id,
+            "title": spec.label,
+            "tables": [],
+            "checks": {},
+            "data": result,
+        }
+    else:
+        raise TypeError(
+            f"job {spec.label!r} returned {type(result).__name__}; expected "
+            f"ExperimentResult or dict"
+        )
+    return {
+        "payload": payload,
+        "worker": os.getpid(),
+        "duration": time.perf_counter() - t0,
+    }
+
+
+def run_sweep(
+    specs: Sequence[JobSpec],
+    store: ResultStore | None = None,
+    *,
+    workers: int = 2,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+    fresh: bool = False,
+    events: EventLog | None = None,
+    progress: ProgressLine | bool | None = None,
+    mp_context=None,
+) -> list[JobOutcome]:
+    """Run ``specs`` through a worker pool; one outcome per spec, in
+    input order.
+
+    Parameters
+    ----------
+    store:
+        Result cache.  ``None`` disables caching entirely.
+    workers:
+        Pool size (at least 1).
+    timeout:
+        Per-job wall-clock limit in seconds; ``None`` disables.
+    retries:
+        How many *charged* failures (error / crash / timeout) each job
+        may absorb beyond its first; ``retries=2`` allows 3 attempts.
+    backoff:
+        Base delay before a retried job is resubmitted; doubles per
+        charged failure, capped at 30 s.
+    fresh:
+        Recompute every job, overwriting cached artifacts.
+    events:
+        Structured log sink; an in-memory :class:`EventLog` is created
+        when omitted (counters still work).
+    progress:
+        ``None`` auto-enables a live line on a tty; ``False`` disables;
+        a :class:`ProgressLine` instance is used as-is.
+    """
+    workers = max(1, int(workers))
+    retries = max(0, int(retries))
+    if events is None:
+        events = EventLog()
+    states = [_JobState(spec) for spec in specs]
+    outcomes: dict[int, JobOutcome] = {}
+    t_sweep = time.monotonic()
+    events.emit("sweep_start", jobs=len(states), workers=workers)
+
+    if progress is False:
+        progress = ProgressLine(len(states), enabled=False)
+    elif progress is None or progress is True:
+        progress = ProgressLine(len(states), enabled=True if progress else None)
+
+    # ---- cache pass -------------------------------------------------
+    pending: deque[_JobState] = deque()
+    for i, st in enumerate(states):
+        artifact = None if (store is None or fresh) else store.get(st.spec)
+        if artifact is not None:
+            outcomes[i] = JobOutcome(
+                st.spec, st.key, "cached", payload=artifact["result"]
+            )
+            events.emit(
+                "cache_hit",
+                job=st.spec.label,
+                experiment=st.spec.experiment_id,
+                key=st.key,
+            )
+        else:
+            pending.append(st)
+
+    index_of = {id(st): i for i, st in enumerate(states)}
+    quarantine: deque[_JobState] = deque()
+    in_flight: dict = {}
+    executor = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+    def _progress():
+        done = len(outcomes)
+        cached = sum(1 for o in outcomes.values() if o.cached)
+        failed = sum(1 for o in outcomes.values() if not o.ok)
+        progress.update(done, cached, failed, len(in_flight))
+
+    def _rebuild_pool():
+        nonlocal executor
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+    def _submit(st: _JobState):
+        st.started_at = time.monotonic()
+        try:
+            fut = executor.submit(_execute_job, st.job_doc)
+        except BrokenProcessPool:
+            # The pool died between completions; this job never started
+            # (no attempt recorded) — requeue it and heal the pool.
+            if st.quarantined:
+                quarantine.appendleft(st)
+            else:
+                pending.appendleft(st)
+            _handle_broken_pool(None)
+            return
+        in_flight[fut] = st
+        events.emit(
+            "job_start",
+            job=st.spec.label,
+            experiment=st.spec.experiment_id,
+            key=st.key,
+            attempt=len(st.attempts) + 1,
+        )
+
+    def _finish_ok(st: _JobState, res: dict):
+        st.attempts.append(
+            Attempt(
+                len(st.attempts) + 1, "ok",
+                duration=res["duration"], worker=res["worker"],
+            )
+        )
+        payload = res["payload"]
+        if store is not None:
+            store.put(st.spec, payload)
+        outcomes[index_of[id(st)]] = JobOutcome(
+            st.spec, st.key, "ok",
+            attempts=st.attempts, payload=payload,
+            duration=res["duration"], worker=res["worker"],
+        )
+        events.emit(
+            "job_finish",
+            job=st.spec.label,
+            experiment=st.spec.experiment_id,
+            key=st.key,
+            attempt=len(st.attempts),
+            duration=round(res["duration"], 6),
+            worker=res["worker"],
+        )
+
+    def _fail(st: _JobState, reason: str):
+        outcomes[index_of[id(st)]] = JobOutcome(
+            st.spec, st.key, "failed", attempts=st.attempts, error=reason
+        )
+        events.emit(
+            "job_failed",
+            job=st.spec.label,
+            experiment=st.spec.experiment_id,
+            key=st.key,
+            attempts=len(st.attempts),
+            reason=reason,
+            retry_history=[a.as_dict() for a in st.attempts],
+        )
+
+    def _charge(st: _JobState, kind: str, reason: str):
+        """Record an at-fault attempt; retry with backoff or fail."""
+        st.attempts.append(Attempt(len(st.attempts) + 1, kind, error=reason))
+        st.charged_failures += 1
+        if st.charged_failures > retries:
+            _fail(st, reason)
+            return
+        delay = min(backoff * (2 ** (st.charged_failures - 1)), _MAX_BACKOFF)
+        st.ready_at = time.monotonic() + delay
+        if kind == "crash":
+            st.quarantined = True
+            quarantine.append(st)
+        else:
+            pending.append(st)
+        events.emit(
+            "job_retry",
+            job=st.spec.label,
+            experiment=st.spec.experiment_id,
+            key=st.key,
+            attempt=len(st.attempts),
+            kind=kind,
+            reason=reason,
+            backoff=round(delay, 6),
+        )
+
+    def _mark_pool_lost(st: _JobState, reason: str, to_quarantine: bool):
+        """Record a not-at-fault interruption and requeue (uncharged)."""
+        st.attempts.append(
+            Attempt(len(st.attempts) + 1, "pool-lost", error=reason)
+        )
+        st.ready_at = time.monotonic()
+        if to_quarantine:
+            st.quarantined = True
+            quarantine.append(st)
+        else:
+            pending.append(st)
+        events.emit(
+            "job_retry",
+            job=st.spec.label,
+            experiment=st.spec.experiment_id,
+            key=st.key,
+            attempt=len(st.attempts),
+            kind="pool-lost",
+            reason=reason,
+            backoff=0.0,
+        )
+
+    def _handle_broken_pool(culprit: _JobState | None):
+        """The executor died.  Attribute the crash when possible,
+        quarantine every ambiguous suspect, and rebuild the pool."""
+        suspects = [culprit] if culprit is not None else []
+        suspects.extend(in_flight.values())
+        in_flight.clear()
+        _rebuild_pool()
+        if len(suspects) == 1:
+            _charge(suspects[0], "crash", "worker process crashed")
+            return
+        for st in suspects:
+            _mark_pool_lost(
+                st,
+                "worker pool crashed with several jobs in flight; "
+                "re-running solo to attribute the crash",
+                to_quarantine=True,
+            )
+
+    _progress()
+    try:
+        while pending or quarantine or in_flight:
+            now = time.monotonic()
+
+            # Quarantined suspects run strictly solo so a repeat crash
+            # is attributable; normal submission resumes afterwards.
+            if quarantine:
+                if not in_flight and quarantine[0].ready_at <= now:
+                    _submit(quarantine.popleft())
+            else:
+                ready = deque()
+                while pending and len(in_flight) < workers:
+                    st = pending.popleft()
+                    if st.ready_at <= now:
+                        _submit(st)
+                    else:
+                        ready.append(st)
+                pending.extendleft(reversed(ready))
+
+            if not in_flight:
+                nxt = min(
+                    (st.ready_at for st in list(pending) + list(quarantine)),
+                    default=now,
+                )
+                time.sleep(min(max(nxt - now, 0.0), _WAIT_TICK) or 0.001)
+                continue
+
+            done, _ = wait(
+                list(in_flight), timeout=_WAIT_TICK, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for fut in done:
+                st = in_flight.pop(fut, None)
+                if st is None:
+                    continue
+                try:
+                    res = fut.result(timeout=0)
+                except BrokenProcessPool:
+                    _handle_broken_pool(st)
+                    broken = True
+                    break
+                except BaseException as exc:  # job raised inside worker
+                    _charge(
+                        st, "error", f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    _finish_ok(st, res)
+            if broken:
+                _progress()
+                continue
+
+            # Per-job deadline: kill the pool (only way to stop a
+            # running worker), charge the overdue job, respawn the rest.
+            if timeout is not None:
+                now = time.monotonic()
+                overdue = [
+                    (fut, st)
+                    for fut, st in in_flight.items()
+                    if st.started_at is not None
+                    and now - st.started_at > timeout
+                ]
+                if overdue:
+                    survivors = [
+                        st for fut, st in in_flight.items()
+                        if fut not in {f for f, _ in overdue}
+                    ]
+                    in_flight.clear()
+                    _rebuild_pool()
+                    for _, st in overdue:
+                        _charge(
+                            st, "timeout",
+                            f"exceeded per-job timeout of {timeout:g}s",
+                        )
+                    for st in survivors:
+                        _mark_pool_lost(
+                            st,
+                            "worker pool recycled to enforce a timeout "
+                            "on another job",
+                            to_quarantine=False,
+                        )
+            _progress()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+        progress.finish()
+
+    ordered = [outcomes[i] for i in range(len(states))]
+    n_ok = sum(1 for o in ordered if o.status == "ok")
+    n_cached = sum(1 for o in ordered if o.cached)
+    n_failed = sum(1 for o in ordered if not o.ok)
+    events.emit(
+        "sweep_finish",
+        ok=n_ok,
+        failed=n_failed,
+        cached=n_cached,
+        duration=round(time.monotonic() - t_sweep, 6),
+    )
+    return ordered

@@ -1,0 +1,162 @@
+"""Aggregation of sweep outcomes back into experiment-harness tables.
+
+The runner's outcomes carry serialised :class:`ExperimentResult`
+payloads; this module rebuilds them, renders a per-job summary table in
+the harness's :class:`TextTable` format, merges per-shard
+:class:`~repro.tracesim.cache.CacheStats` counters emitted by parallel
+workers (lossless, via ``CacheStats.__add__``), and decides the sweep's
+overall verdict (every job completed *and* every paper-claim check
+passed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import ExperimentResult
+from repro.runner.pool import JobOutcome
+from repro.runner.store import payload_to_result
+from repro.tracesim.cache import CacheStats
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "results_of",
+    "sweep_summary",
+    "sweep_ok",
+    "merged_cache_stats",
+    "cache_stats_table",
+    "render_sweep",
+]
+
+
+def results_of(outcomes: Iterable[JobOutcome]) -> list[ExperimentResult]:
+    """Rebuilt :class:`ExperimentResult` for every completed outcome."""
+    return [
+        payload_to_result(o.payload) for o in outcomes if o.payload is not None
+    ]
+
+
+def sweep_summary(outcomes: Sequence[JobOutcome]) -> TextTable:
+    """One row per job: status, cache/attempt accounting, checks."""
+    table = TextTable(
+        ["job", "status", "attempts", "duration (s)", "checks", "error"],
+        title="Sweep summary",
+    )
+    for o in outcomes:
+        checks = "-"
+        if o.payload is not None:
+            verdicts = o.payload.get("checks", {})
+            checks = f"{sum(1 for v in verdicts.values() if v)}/{len(verdicts)}"
+        table.add_row(
+            [
+                o.spec.label,
+                o.status,
+                len(o.attempts) if o.attempts else (0 if o.cached else 1),
+                "-" if o.duration is None else round(o.duration, 3),
+                checks,
+                (o.error or "")[:60],
+            ]
+        )
+    return table
+
+
+def sweep_ok(outcomes: Sequence[JobOutcome]) -> bool:
+    """True when every job completed and every paper-claim check
+    passed."""
+    for o in outcomes:
+        if not o.ok:
+            return False
+        verdicts = (o.payload or {}).get("checks", {})
+        if not all(verdicts.values()):
+            return False
+    return True
+
+
+def merged_cache_stats(outcomes: Iterable[JobOutcome]) -> dict[str, CacheStats]:
+    """Losslessly merge per-shard cache-simulator counters.
+
+    Experiments that trace-simulate caches publish their counters under
+    ``data["cache_stats"]`` as ``{shard_name: {accesses, hits, misses,
+    writebacks}}``.  Workers run shards in separate processes, so the
+    per-job counters are partial; summing them through
+    :meth:`CacheStats.__add__` reconstructs the whole-sweep totals
+    (including write-back counts, which a naive hit/miss merge would
+    drop).
+    """
+    merged: dict[str, CacheStats] = {}
+    for o in outcomes:
+        if o.payload is None:
+            continue
+        shards = o.payload.get("data", {}).get("cache_stats", {})
+        if not isinstance(shards, dict):
+            continue
+        for name, counters in shards.items():
+            try:
+                stats = CacheStats.from_dict(counters)
+            except (TypeError, KeyError, ValueError):
+                continue
+            merged[name] = merged[name] + stats if name in merged else stats
+    return merged
+
+
+def cache_stats_table(merged: dict[str, CacheStats]) -> TextTable:
+    """Render merged cache counters (plus a grand total row)."""
+    table = TextTable(
+        ["shard", "accesses", "hits", "misses", "writebacks", "I/O"],
+        title="Merged trace-cache counters (all workers)",
+    )
+    for name in sorted(merged):
+        s = merged[name]
+        table.add_row([name, s.accesses, s.hits, s.misses, s.writebacks, s.io])
+    if len(merged) > 1:
+        total = CacheStats.merge(merged.values())
+        table.add_row(
+            ["TOTAL", total.accesses, total.hits, total.misses,
+             total.writebacks, total.io]
+        )
+    return table
+
+
+def render_sweep(
+    outcomes: Sequence[JobOutcome], show_results: bool = True
+) -> str:
+    """Full human-readable sweep report."""
+    lines: list[str] = []
+    if show_results:
+        for o in outcomes:
+            if o.payload is None:
+                continue
+            lines.append(payload_to_result(o.payload).render())
+            lines.append("")
+    lines.append(sweep_summary(outcomes).render())
+    merged = merged_cache_stats(outcomes)
+    if merged:
+        lines.append("")
+        lines.append(cache_stats_table(merged).render())
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        lines.append("")
+        lines.append(f"FAILED jobs: {[o.spec.label for o in failures]}")
+        for o in failures:
+            lines.append(f"  {o.spec.label}: {o.error}")
+            for a in o.attempts:
+                lines.append(
+                    f"    attempt {a.index}: {a.kind}"
+                    + (f" — {a.error}" if a.error else "")
+                )
+    unchecked = [
+        o.spec.label
+        for o in outcomes
+        if o.ok and not all((o.payload or {}).get("checks", {}).values())
+    ]
+    if unchecked:
+        lines.append("")
+        lines.append(f"FAILED paper-claim checks in: {unchecked}")
+    n_cached = sum(1 for o in outcomes if o.cached)
+    lines.append("")
+    lines.append(
+        f"{len(outcomes)} jobs: "
+        f"{sum(1 for o in outcomes if o.status == 'ok')} computed, "
+        f"{n_cached} from cache, {len(failures)} failed."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Content-addressed on-disk result store.
+
+Artifacts live at ``<root>/<experiment_id>/<cache_key>.json`` and hold
+the full serialised :class:`ExperimentResult` plus the job description
+that produced it.  Properties the sweep machinery relies on:
+
+- **deterministic bytes** — artifacts are canonical JSON
+  (``sort_keys``, fixed separators, trailing newline) containing no
+  wall-clock or host metadata, so re-running an identical sweep yields
+  byte-identical files;
+- **atomic writes** — written to a temp file in the same directory and
+  ``os.replace``-d into place, so an interrupted sweep never leaves a
+  truncated artifact and ``--resume`` can trust whatever it finds;
+- **self-describing** — each artifact embeds its key, params, seed and
+  package version; a corrupt or mismatched file reads as a cache miss,
+  never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.experiments.harness import ExperimentResult
+from repro.runner.jobs import JobSpec, canonical_params
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "result_to_payload",
+    "payload_to_result",
+]
+
+#: Bump when the artifact layout changes; old artifacts then read as
+#: cache misses rather than decoding errors.
+SCHEMA_VERSION = 1
+
+
+def _jsonify(value):
+    """Best-effort reduction of result payloads to JSON-native types
+    (numpy scalars -> Python scalars, tuples -> lists, keys -> str)."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [_jsonify(v) for v in items]
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return _jsonify(value.item())
+    if hasattr(value, "tolist"):
+        return _jsonify(value.tolist())
+    return repr(value)
+
+
+def result_to_payload(result: ExperimentResult) -> dict:
+    """Serialise an :class:`ExperimentResult` to a JSON-native dict."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": [
+            {"title": t.title, "headers": list(t.headers), "rows": [list(r) for r in t.rows]}
+            for t in result.tables
+        ],
+        "checks": {str(k): bool(v) for k, v in result.checks.items()},
+        "data": _jsonify(result.data),
+    }
+
+
+def payload_to_result(payload: Mapping) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from a stored payload.
+
+    Table rows were rendered to aligned strings at serialisation time,
+    so ``render()`` of the rebuilt result matches the original exactly.
+    """
+    tables = []
+    for doc in payload.get("tables", ()):
+        table = TextTable(doc["headers"], title=doc.get("title"))
+        table.rows = [list(row) for row in doc["rows"]]
+        tables.append(table)
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload.get("title", payload["experiment_id"]),
+        tables=tables,
+        checks=dict(payload.get("checks", {})),
+        data=dict(payload.get("data", {})),
+    )
+
+
+class ResultStore:
+    """Content-addressed JSON artifact store rooted at ``root``."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: JobSpec) -> Path:
+        return self.root / spec.experiment_id / f"{spec.cache_key}.json"
+
+    def has(self, spec: JobSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def get(self, spec: JobSpec) -> dict | None:
+        """The stored artifact for ``spec``, or None (a miss) when the
+        artifact is absent, unreadable, or keyed differently."""
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(artifact, dict)
+            or artifact.get("schema") != SCHEMA_VERSION
+            or artifact.get("key") != spec.cache_key
+        ):
+            return None
+        return artifact
+
+    def put(self, spec: JobSpec, result_payload: Mapping) -> Path:
+        """Atomically write the artifact for ``spec``; returns its path."""
+        from repro._version import __version__
+
+        artifact = {
+            "schema": SCHEMA_VERSION,
+            "key": spec.cache_key,
+            "experiment_id": spec.experiment_id,
+            "params": canonical_params(spec.params),
+            "seed": spec.seed,
+            "entrypoint": spec.entrypoint,
+            "version": __version__,
+            "result": _jsonify(result_payload),
+        }
+        blob = json.dumps(artifact, sort_keys=True, indent=2) + "\n"
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, spec: JobSpec) -> bool:
+        """Remove the artifact for ``spec``; True when one existed."""
+        try:
+            self.path_for(spec).unlink()
+            return True
+        except OSError:
+            return False
+
+    def iter_artifacts(self) -> Iterator[dict]:
+        """Yield every decodable artifact under the root."""
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    artifact = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(artifact, dict) and artifact.get("schema") == SCHEMA_VERSION:
+                yield artifact
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete all artifacts; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -27,7 +27,13 @@ __all__ = ["CacheStats", "FullyAssociativeLRU", "SetAssociativeLRU"]
 
 @dataclass
 class CacheStats:
-    """Access counters for one simulated run."""
+    """Access counters for one simulated run.
+
+    Counters form a commutative monoid under ``+`` (identity
+    ``CacheStats()``), so per-shard counters collected from parallel
+    runner workers aggregate losslessly — including write-backs, which
+    derived measures like :attr:`io` depend on.
+    """
 
     accesses: int = 0
     hits: int = 0
@@ -43,6 +49,47 @@ class CacheStats:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+    def __radd__(self, other) -> "CacheStats":
+        if other == 0:  # supports sum(stats_list)
+            return CacheStats(self.accesses, self.hits, self.misses,
+                              self.writebacks)
+        return self.__add__(other)
+
+    @classmethod
+    def merge(cls, shards) -> "CacheStats":
+        """Sum an iterable of per-shard counters into one total."""
+        total = cls()
+        for shard in shards:
+            total = total + shard
+        return total
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, counters) -> "CacheStats":
+        return cls(
+            accesses=int(counters["accesses"]),
+            hits=int(counters["hits"]),
+            misses=int(counters["misses"]),
+            writebacks=int(counters["writebacks"]),
+        )
 
 
 class FullyAssociativeLRU:

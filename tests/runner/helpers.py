@@ -1,0 +1,96 @@
+"""Job bodies for runner tests.
+
+These must live in an importable module (not a test function) so the
+pool workers can resolve them: specs reference them by entrypoint
+string, and the scheduler pickles only the job description.
+
+Stateful behaviours (fail-N-times-then-succeed) coordinate through
+marker files in a directory passed as a job parameter, because each
+attempt may run in a different worker process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentResult
+
+
+def _result(experiment_id: str, **data) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"helper {experiment_id}",
+        checks={"always": True},
+        data=data,
+    )
+
+
+def ok_job(x: int = 1) -> ExperimentResult:
+    return _result("T-OK", x=x, squared=x * x)
+
+
+def failing_check_job() -> ExperimentResult:
+    result = _result("T-BADCHECK")
+    result.checks["paper claim holds"] = False
+    return result
+
+
+def error_job(message: str = "boom") -> ExperimentResult:
+    raise RuntimeError(message)
+
+
+def flaky_job(marker_dir: str, fail_times: int = 1) -> ExperimentResult:
+    """Raise on the first ``fail_times`` attempts, then succeed."""
+    root = Path(marker_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    attempt = len(list(root.glob("attempt-*"))) + 1
+    (root / f"attempt-{attempt}-{os.getpid()}").touch()
+    if attempt <= fail_times:
+        raise RuntimeError(f"flaky attempt {attempt}/{fail_times}")
+    return _result("T-FLAKY", attempts_needed=attempt)
+
+
+def crash_job(exit_code: int = 17) -> ExperimentResult:
+    """Kill the worker process outright (no Python exception)."""
+    os._exit(exit_code)
+
+
+def flaky_crash_job(marker_dir: str, crash_times: int = 1) -> ExperimentResult:
+    """Crash the worker on the first ``crash_times`` attempts."""
+    root = Path(marker_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    attempt = len(list(root.glob("attempt-*"))) + 1
+    (root / f"attempt-{attempt}-{os.getpid()}").touch()
+    if attempt <= crash_times:
+        os._exit(23)
+    return _result("T-FLAKYCRASH", attempts_needed=attempt)
+
+
+def sleepy_job(duration: float = 30.0) -> ExperimentResult:
+    time.sleep(duration)
+    return _result("T-SLEEPY", slept=duration)
+
+
+def seeded_job(seed: int | None = None) -> ExperimentResult:
+    return _result("T-SEEDED", seed=seed)
+
+
+def seedless_job() -> ExperimentResult:
+    return _result("T-SEEDLESS")
+
+
+def dict_job(value: int = 7) -> dict:
+    return {"value": value}
+
+
+def cache_shard_job(shard: int = 0) -> ExperimentResult:
+    """Emit per-shard trace-cache counters for merge testing."""
+    from repro.tracesim import SetAssociativeLRU, trace_blocked
+
+    cache = SetAssociativeLRU(n_sets=4, ways=2)
+    stats = cache.run(trace_blocked(8 + 4 * shard, 4))
+    result = _result("T-SHARD", shard=shard)
+    result.data["cache_stats"] = {"shard": stats.as_dict()}
+    return result

@@ -1,0 +1,90 @@
+"""Event log: JSONL schema, counters, progress line."""
+
+import io
+
+from repro.runner.events import (
+    EVENT_SCHEMA,
+    EventLog,
+    ProgressLine,
+    read_events,
+    tally,
+    validate_event,
+)
+
+
+class TestEventLog:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("sweep_start", jobs=2, workers=1)
+            log.emit("cache_hit", job="E1", experiment="E1", key="k")
+        records = read_events(path)
+        assert [r["event"] for r in records] == ["sweep_start", "cache_hit"]
+        assert all("ts" in r for r in records)
+
+    def test_counts_without_a_file(self):
+        log = EventLog()
+        log.emit("job_start", job="x", experiment="x", key="k", attempt=1)
+        log.emit("job_start", job="y", experiment="y", key="k", attempt=1)
+        assert log.counts["job_start"] == 2
+        assert len(log.records) == 2
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("sweep_start", jobs=1, workers=1)
+        with EventLog(path) as log:
+            log.emit("sweep_finish", ok=1, failed=0, cached=0, duration=0.1)
+        assert len(read_events(path)) == 2
+
+    def test_monotonic_timestamps(self, tmp_path):
+        ticks = iter(range(100))
+        log = EventLog(clock=lambda: next(ticks))
+        a = log.emit("sweep_start", jobs=0, workers=0)
+        b = log.emit("sweep_finish", ok=0, failed=0, cached=0, duration=0)
+        assert b["ts"] > a["ts"]
+
+
+class TestSchema:
+    def test_all_types_validate_when_complete(self):
+        for event, required in EVENT_SCHEMA.items():
+            record = {"ts": 1.0, "event": event}
+            record.update({name: 0 for name in required})
+            assert validate_event(record) == []
+
+    def test_missing_field_is_reported(self):
+        problems = validate_event({"ts": 1.0, "event": "job_retry"})
+        assert any("reason" in p for p in problems)
+        assert any("kind" in p for p in problems)
+
+    def test_unknown_event_type(self):
+        assert validate_event({"ts": 1.0, "event": "nope"})
+
+    def test_missing_envelope(self):
+        assert validate_event({"event": "sweep_start"})
+        assert validate_event({"ts": 0.0})
+
+    def test_tally(self):
+        records = [{"event": "job_start"}, {"event": "job_start"},
+                   {"event": "cache_hit"}]
+        counts = tally(records)
+        assert counts["job_start"] == 2 and counts["cache_hit"] == 1
+
+
+class TestProgressLine:
+    def test_disabled_on_non_tty(self):
+        stream = io.StringIO()
+        line = ProgressLine(total=4, stream=stream)
+        line.update(1, 0, 0, 1)
+        assert stream.getvalue() == ""
+
+    def test_enabled_overwrites_in_place(self):
+        stream = io.StringIO()
+        line = ProgressLine(total=4, stream=stream, enabled=True)
+        line.update(1, 0, 0, 2)
+        line.update(2, 1, 0, 1)
+        line.finish()
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert "2/4 done" in text
+        assert text.endswith("\n")

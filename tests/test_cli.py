@@ -67,3 +67,70 @@ class TestCommands:
     def test_experiments_selected(self, capsys):
         assert main(["experiments", "E1"]) == 0
         assert "reproduced" in capsys.readouterr().out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("E1", "E9", "E14"):
+            assert experiment_id in out
+        assert "reproduced" not in out  # nothing was run
+
+    def test_experiments_exit_nonzero_on_failed_check(self, capsys):
+        from repro.experiments.harness import ExperimentResult, _REGISTRY
+
+        def failing_run() -> ExperimentResult:
+            return ExperimentResult(
+                "E98", "always fails", checks={"claim": False}
+            )
+
+        _REGISTRY["E98"] = failing_run
+        try:
+            assert main(["experiments", "E98"]) == 1
+            assert "FAILED experiments" in capsys.readouterr().out
+        finally:
+            del _REGISTRY["E98"]
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_caches(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = ["sweep", "E1", "--jobs", "2", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 computed, 0 from cache" in out
+        assert (cache / "events.jsonl").is_file()
+        # identical rerun: served from cache
+        assert main(argv + ["--resume"]) == 0
+        assert "0 computed, 1 from cache" in capsys.readouterr().out
+
+    def test_sweep_param_grid(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "E2", "--jobs", "2",
+             "--cache-dir", str(tmp_path / "c"),
+             "--param", "E2:r=2,3", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "E2[r=2]" in out and "E2[r=3]" in out
+
+    def test_sweep_seeds_fan_out(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "E8", "--jobs", "2",
+             "--cache-dir", str(tmp_path / "c"),
+             "--param", "E8:r=2", "--seeds", "1,2", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed=1" in out and "seed=2" in out
+
+    def test_sweep_rejects_bad_param(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "E1", "--param", "nonsense",
+                  "--cache-dir", str(tmp_path)])
+
+    def test_sweep_rejects_param_for_unselected_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "E1", "--param", "E9:r_max=3",
+                  "--cache-dir", str(tmp_path)])
+
+    def test_fresh_and_resume_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--fresh", "--resume"])

@@ -1,0 +1,70 @@
+"""CacheStats aggregation: the monoid the parallel runner relies on."""
+
+from repro.tracesim import SetAssociativeLRU, trace_blocked
+from repro.tracesim.cache import CacheStats
+
+
+class TestAlgebra:
+    def test_add_is_fieldwise(self):
+        a = CacheStats(10, 6, 4, 2)
+        b = CacheStats(5, 1, 4, 3)
+        c = a + b
+        assert (c.accesses, c.hits, c.misses, c.writebacks) == (15, 7, 8, 5)
+        assert c.io == 8 + 5
+
+    def test_identity_and_sum_builtin(self):
+        shards = [CacheStats(3, 2, 1, 1), CacheStats(7, 4, 3, 0)]
+        assert sum(shards) == CacheStats(10, 6, 4, 1)
+        assert CacheStats() + shards[0] == shards[0]
+
+    def test_merge_classmethod(self):
+        shards = [CacheStats(1, 1, 0, 0)] * 4
+        assert CacheStats.merge(shards) == CacheStats(4, 4, 0, 0)
+        assert CacheStats.merge([]) == CacheStats()
+
+    def test_add_rejects_foreign_types(self):
+        try:
+            CacheStats() + 3
+        except TypeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected TypeError")
+
+    def test_dict_round_trip(self):
+        s = CacheStats(9, 5, 4, 2)
+        assert CacheStats.from_dict(s.as_dict()) == s
+
+    def test_inputs_are_not_mutated(self):
+        a = CacheStats(1, 1, 0, 0)
+        b = CacheStats(2, 0, 2, 1)
+        a + b
+        assert a == CacheStats(1, 1, 0, 0)
+        assert b == CacheStats(2, 0, 2, 1)
+
+
+class TestSetAssociativeRegression:
+    def test_writebacks_survive_merging(self):
+        """Regression: per-shard SetAssociativeLRU counters — including
+        the write-back component of the I/O measure — must aggregate to
+        exactly the counters of the same traces run on separate caches
+        summed by hand."""
+        traces = [list(trace_blocked(8, 2)), list(trace_blocked(12, 4))]
+        shard_stats = []
+        for trace in traces:
+            cache = SetAssociativeLRU(n_sets=2, ways=2)
+            shard_stats.append(cache.run(trace))
+        assert all(s.writebacks > 0 for s in shard_stats), (
+            "traces must exercise dirty evictions for this regression "
+            "test to mean anything"
+        )
+        merged = CacheStats.merge(shard_stats)
+        assert merged.accesses == sum(s.accesses for s in shard_stats)
+        assert merged.hits == sum(s.hits for s in shard_stats)
+        assert merged.misses == sum(s.misses for s in shard_stats)
+        assert merged.writebacks == sum(s.writebacks for s in shard_stats)
+        assert merged.io == sum(s.io for s in shard_stats)
+
+    def test_miss_rate_recomputes_from_merged_counters(self):
+        a, b = CacheStats(10, 5, 5, 0), CacheStats(30, 30, 0, 0)
+        merged = a + b
+        assert merged.miss_rate == 5 / 40
