@@ -3,7 +3,22 @@
 Not tied to a paper figure; these keep the substrate's performance
 honest (CDAG construction, pebble-game execution, routing construction,
 the kernels) so the experiment benches stay fast as the code evolves.
+
+Two entry points over the same workloads:
+
+- ``pytest benchmarks/bench_micro.py`` — pytest-benchmark statistics for
+  interactive tuning;
+- ``python benchmarks/bench_micro.py [--json-out PATH]`` — standalone
+  run that emits one machine-readable JSON document (median-of-k wall
+  times per case plus the telemetry counters collected while running)
+  via :mod:`repro.telemetry.export`, for dashboards and CI artifacts.
 """
+
+import argparse
+import json
+import statistics
+import sys
+import time
 
 import numpy as np
 
@@ -66,3 +81,104 @@ def test_trace_sim_blocked_32(benchmark):
         return FullyAssociativeLRU(192).run(trace_blocked(32, 8))
 
     benchmark(run)
+
+
+# ---------------------------------------------------------------------------
+# Standalone machine-readable mode.
+
+
+def make_cases() -> dict:
+    """The same workloads as the pytest benches, with setup hoisted out
+    of the timed bodies; name -> zero-arg callable."""
+    g2 = build_cdag(strassen(), 2)
+    g3 = build_cdag(strassen(), 3)
+    g4 = build_cdag(strassen(), 4)
+    ex4 = CacheExecutor(g4)
+    sched4 = ex4.validate_schedule(recursive_schedule(g4))
+    ex3 = CacheExecutor(g3)
+    sched3 = ex3.validate_schedule(recursive_schedule(g3))
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    return {
+        "build_cdag_r4": lambda: build_cdag(strassen(), 4),
+        "metavertices_r4": lambda: compute_metavertices(g4),
+        "recursive_schedule_r4": lambda: recursive_schedule(g4),
+        "executor_lru_r4": lambda: ex4.run(sched4, 64, "lru", False),
+        "executor_belady_r3": lambda: ex3.run(sched3, 64, "belady", False),
+        "lemma3_routing_k3": lambda: lemma3_routing(g3),
+        "theorem2_routing_k2": lambda: theorem2_routing(g2),
+        "strassen_matmul_64": lambda: strassen_matmul(A, B, None, 8),
+        "trace_sim_blocked_32": (
+            lambda: FullyAssociativeLRU(192).run(trace_blocked(32, 8))
+        ),
+    }
+
+
+def run_benchmarks(repeats: int = 3, select: str | None = None) -> dict:
+    """Run the micro-benchmarks and return the machine-readable doc."""
+    from repro import telemetry
+    from repro.telemetry.export import telemetry_to_json
+
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    telemetry.reset()
+    results: dict[str, dict] = {}
+    try:
+        for name, fn in make_cases().items():
+            if select and select not in name:
+                continue
+            times = []
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            results[name] = {
+                "median_s": statistics.median(times),
+                "min_s": min(times),
+                "repeats": len(times),
+            }
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    doc = telemetry_to_json(
+        registry=telemetry.metrics(),
+        metadata={"tool": "bench_micro", "repeats": repeats},
+    )
+    doc["benchmarks"] = results
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Micro-benchmarks with machine-readable JSON output."
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="timed runs per case; the median is reported (default 3)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="SUBSTR",
+        help="run only cases whose name contains SUBSTR",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the JSON document here (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_benchmarks(repeats=args.repeats, select=args.select)
+    if not doc["benchmarks"]:
+        print(f"no case matches --select {args.select!r}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        from repro.telemetry.export import write_json
+
+        write_json(args.json_out, doc)
+        print(f"wrote {args.json_out} ({len(doc['benchmarks'])} cases)")
+    else:
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

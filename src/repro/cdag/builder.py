@@ -13,6 +13,7 @@ import numpy as np
 from repro.bilinear.algorithm import BilinearAlgorithm
 from repro.cdag.graph import CDAG, Region, Slab
 from repro.errors import CDAGError
+from repro.telemetry.spans import span
 from repro.utils.indexing import MixedRadix
 from repro.utils.validation import check_nonnegative_int
 
@@ -44,6 +45,15 @@ def build_cdag(alg: BilinearAlgorithm, r: int) -> CDAG:
     CDAGError
         If the graph would exceed :data:`MAX_VERTICES`.
     """
+    with span("cdag.build", alg=alg.name) as sp:
+        g = _build_cdag(alg, r)
+        sp.add("vertices", g.n_vertices)
+        sp.add("edges", g.n_edges)
+        sp.set("recursion_depth", r)
+        return g
+
+
+def _build_cdag(alg: BilinearAlgorithm, r: int) -> CDAG:
     r = check_nonnegative_int(r, "r")
     a, b = alg.a, alg.b
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.cdag.graph import CDAG, Region
 from repro.cdag.metavertex import MetaVertexPartition
 from repro.errors import CDAGError
+from repro.telemetry.spans import add_counter, traced
 from repro.utils.indexing import MixedRadix
 
 __all__ = [
@@ -167,6 +168,7 @@ def _gk_cache(alg, k: int) -> CDAG:
 
     key = (alg.name, alg.a, alg.b, k)
     if key not in _GK_CACHE:
+        add_counter("gk_cache_misses")
         _GK_CACHE[key] = build_cdag(alg, k)
     return _GK_CACHE[key]
 
@@ -213,6 +215,7 @@ def middle_ranks_vertices(cdag: CDAG, k: int) -> np.ndarray:
     return np.concatenate(parts)
 
 
+@traced("cdag.input_disjoint_family")
 def input_disjoint_family(
     cdag: CDAG,
     k: int,
@@ -244,6 +247,7 @@ def input_disjoint_family(
     )
     labels = meta.label[input_rank_vertices]
     if len(np.unique(labels)) == len(labels):
+        add_counter("family_size", n_copies)
         return list(range(n_copies))
 
     if k > r - 2:
@@ -278,6 +282,7 @@ def input_disjoint_family(
     # input-disjoint family (certifies the meta-vertex reasoning).
     if not _family_is_input_disjoint(cdag, k, meta, family):  # pragma: no cover
         raise CDAGError("internal error: Lemma 1 family is not input-disjoint")
+    add_counter("family_size", len(family))
     return family
 
 
@@ -294,6 +299,7 @@ def _family_is_input_disjoint(
     return True
 
 
+@traced("cdag.verify_fact1")
 def verify_fact1(cdag: CDAG, k: int) -> dict:
     """Empirically verify Fact 1 on ``G_{r,k}``.
 
@@ -306,6 +312,8 @@ def verify_fact1(cdag: CDAG, k: int) -> dict:
     n_copies = subcomputation_count(cdag, k)
     middle = middle_ranks_vertices(cdag, k)
     middle_set = set(middle.tolist())
+    add_counter("copies_checked", n_copies)
+    add_counter("middle_vertices", len(middle))
 
     covered: set[int] = set()
     for i in range(n_copies):

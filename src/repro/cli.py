@@ -10,7 +10,14 @@ Subcommands:
 - ``experiments``           — run the reproduction experiments;
 - ``sweep``                 — parallel experiment sweep with an on-disk
   result cache, per-job timeouts, retries, and a JSONL event log;
+- ``perf``                  — record or compare ``BENCH_<exp>.json``
+  perf baselines (``--compare`` exits nonzero on regression);
 - ``render``                — DOT/ASCII rendering of a base graph.
+
+``route``, ``experiments`` and ``sweep`` accept ``--profile`` (collect
+telemetry) and ``--trace-out PATH`` (write the collected spans as a
+Chrome ``trace_event`` file loadable in ``chrome://tracing``/Perfetto;
+implies ``--profile``).
 
 Everything the CLI prints is computed by the same public API the tests
 exercise; the CLI adds no logic of its own.
@@ -26,6 +33,42 @@ from repro.bilinear.compose import named_compositions
 from repro.utils.tables import TextTable
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile", action="store_true",
+        help="collect telemetry spans and counters during the run",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write collected spans as a Chrome trace_event JSON "
+             "(implies --profile)",
+    )
+
+
+def _begin_profile(args) -> bool:
+    """Enable telemetry when ``--profile``/``--trace-out`` asks for it."""
+    if getattr(args, "profile", False) or getattr(args, "trace_out", None):
+        from repro import telemetry
+
+        telemetry.enable()
+        return True
+    return False
+
+
+def _finish_profile(args, command: str) -> None:
+    """Write the Chrome trace and a one-line telemetry summary."""
+    from repro import telemetry
+
+    spans = telemetry.collected_spans()
+    if getattr(args, "trace_out", None):
+        telemetry.write_chrome_trace(
+            args.trace_out, spans, metadata={"command": command}
+        )
+        print(f"trace: {args.trace_out} ({len(spans)} spans)")
+    else:
+        print(f"telemetry: {len(spans)} spans collected")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_route = sub.add_parser("route", help="Theorem-2 routing certificate")
     p_route.add_argument("--alg", default="strassen")
     p_route.add_argument("--k", type=int, default=1)
+    _add_profile_flags(p_route)
 
     p_caps = sub.add_parser("caps", help="parallel bandwidth simulation")
     p_caps.add_argument("--alg", default="strassen")
@@ -79,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_only",
         help="list registered experiment ids and exit",
     )
+    _add_profile_flags(p_exp)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -140,6 +185,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--quiet", action="store_true",
         help="print only the summary, not each experiment report",
+    )
+    _add_profile_flags(p_sweep)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="record or compare perf baselines (BENCH_<exp>.json)",
+        description=(
+            "Without --compare, measure the selected experiments "
+            "(median of --repeats runs, telemetry counters attached) and "
+            "write BENCH_<exp>.json snapshots.  With --compare, "
+            "re-measure and diff against the committed snapshots, "
+            "exiting nonzero when any median time regresses past "
+            "--threshold (counter drift is reported, not gated)."
+        ),
+    )
+    p_perf.add_argument(
+        "ids", nargs="*", help="experiment ids (default: E1 E2 E3)"
+    )
+    p_perf.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="timed runs per experiment; the median is kept (default 3)",
+    )
+    p_perf.add_argument(
+        "--compare", action="store_true",
+        help="compare against stored baselines instead of rewriting them",
+    )
+    p_perf.add_argument(
+        "--threshold", type=float, default=1.5, metavar="RATIO",
+        help="max allowed current/baseline median-time ratio (default 1.5)",
+    )
+    p_perf.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="where BENCH_<exp>.json files live (default: repo root '.')",
+    )
+    p_perf.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also write the measurement spans as a Chrome trace",
+    )
+    p_perf.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write combined spans+metrics JSON",
     )
 
     p_render = sub.add_parser("render", help="render a base graph")
@@ -224,8 +310,11 @@ def _cmd_simulate(args) -> int:
 def _cmd_route(args) -> int:
     from repro.routing import theorem2_certificate
 
+    profiled = _begin_profile(args)
     alg = by_name(args.alg)
     cert = theorem2_certificate(alg, args.k)
+    if profiled:
+        _finish_profile(args, "route")
     print(f"Theorem 2 certificate for {alg.name}, k={args.k}:")
     print(f"  paths: {cert.report.n_paths}")
     print(f"  claimed m = 6a^k = {cert.claimed_m}")
@@ -259,6 +348,10 @@ def _cmd_experiments(args) -> int:
     argv = list(args.ids)
     if args.list_only:
         argv.append("--list")
+    if args.profile:
+        argv.append("--profile")
+    if args.trace_out:
+        argv.extend(["--trace-out", args.trace_out])
     return experiments_main(argv)
 
 
@@ -318,6 +411,7 @@ def _cmd_sweep(args) -> int:
         fan = seeds if (seeds and experiment_accepts_seed(eid)) else None
         specs.extend(expand_grid(eid, grids.get(eid), seeds=fan))
 
+    profiled = _begin_profile(args)
     store = ResultStore(args.cache_dir)
     events_path = args.events or str(Path(args.cache_dir) / "events.jsonl")
     with EventLog(events_path) as events:
@@ -330,10 +424,27 @@ def _cmd_sweep(args) -> int:
             backoff=args.backoff,
             fresh=args.fresh,
             events=events,
+            profile=profiled,
         )
     print(render_sweep(outcomes, show_results=not args.quiet))
     print(f"cache: {args.cache_dir}  events: {events_path}")
+    if profiled:
+        _finish_profile(args, "sweep")
     return 0 if sweep_ok(outcomes) else 1
+
+
+def _cmd_perf(args) -> int:
+    from repro.telemetry.baseline import run_perf
+
+    return run_perf(
+        args.ids or None,
+        repeats=args.repeats,
+        root=args.bench_dir,
+        compare=args.compare,
+        threshold=args.threshold,
+        trace_out=args.trace_out,
+        json_out=args.json_out,
+    )
 
 
 def _cmd_render(args) -> int:
@@ -361,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "render":
         return _cmd_render(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -47,6 +47,15 @@ def main(argv: list[str]) -> int:
         "--cache-dir", default=None, metavar="DIR",
         help="result cache for --jobs > 1 (default: no cache)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect telemetry spans and counters during the run",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write collected spans as a Chrome trace_event JSON "
+             "(implies --profile)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_only:
@@ -56,14 +65,36 @@ def main(argv: list[str]) -> int:
 
     ids = args.ids or list_experiments()
 
+    profiled = bool(args.profile or args.trace_out)
+    if profiled:
+        from repro import telemetry
+
+        telemetry.enable()
+
+    def _finish_profile() -> None:
+        from repro import telemetry
+
+        spans = telemetry.collected_spans()
+        if args.trace_out:
+            telemetry.write_chrome_trace(
+                args.trace_out, spans, metadata={"command": "experiments"}
+            )
+            print(f"trace: {args.trace_out} ({len(spans)} spans)")
+        else:
+            print(f"telemetry: {len(spans)} spans collected")
+
     if args.jobs > 1:
         from repro.runner import (
             ResultStore, jobs_for_ids, render_sweep, run_sweep, sweep_ok,
         )
 
         store = ResultStore(args.cache_dir) if args.cache_dir else None
-        outcomes = run_sweep(jobs_for_ids(ids), store, workers=args.jobs)
+        outcomes = run_sweep(
+            jobs_for_ids(ids), store, workers=args.jobs, profile=profiled
+        )
         print(render_sweep(outcomes))
+        if profiled:
+            _finish_profile()
         return 0 if sweep_ok(outcomes) else 1
 
     failures = []
@@ -73,6 +104,8 @@ def main(argv: list[str]) -> int:
         print()
         if not result.all_checks_pass:
             failures.append(experiment_id)
+    if profiled:
+        _finish_profile()
     if failures:
         print(f"FAILED experiments: {failures}")
         return 1

@@ -34,6 +34,7 @@ from repro.cdag.graph import CDAG
 from repro.errors import CacheError, ScheduleError
 from repro.pebbling.cache import make_policy
 from repro.pebbling.machine import MachineModel
+from repro.telemetry.spans import span
 
 __all__ = ["IOResult", "CacheExecutor", "simulate_io"]
 
@@ -128,6 +129,24 @@ class CacheExecutor:
         step) — used by the Hong-Kung partition machinery to cut
         executions every ``2M`` I/Os.
         """
+        with span(
+            "pebbling.run", policy=policy, cache_size=cache_size
+        ) as sp:
+            result, evictions = self._run(
+                schedule, cache_size, policy, validate, machine, io_trace
+            )
+            sp.add("scheduled", self.cdag.n_vertices - int(self.is_input.sum()))
+            sp.add("reads", result.reads)
+            sp.add("writes", result.writes)
+            sp.add("evictions", evictions)
+            sp.add("spill_reads", result.spill_reads)
+            sp.add("spill_writes", result.spill_writes)
+            sp.set("peak_cache", result.peak_cache)
+            return result
+
+    def _run(
+        self, schedule, cache_size, policy, validate, machine, io_trace
+    ) -> tuple[IOResult, int]:
         cdag = self.cdag
         machine = machine or MachineModel(cache_size=cache_size)
         machine.check_executable(cdag)
@@ -158,9 +177,11 @@ class CacheExecutor:
         reads = writes = input_reads = spill_reads = spill_writes = 0
         output_writes = 0
         peak = 0
+        evictions = 0
 
         def evict(candidates: set[int]) -> None:
-            nonlocal writes, spill_writes, output_writes
+            nonlocal writes, spill_writes, output_writes, evictions
+            evictions += 1
             victim = pol.choose_victim(candidates)
             cached.discard(victim)
             pol.on_evict(victim)
@@ -226,7 +247,7 @@ class CacheExecutor:
         if not machine.count_output_writes:
             writes -= output_writes
 
-        return IOResult(
+        result = IOResult(
             cache_size=cache_size,
             policy=policy,
             reads=reads,
@@ -237,6 +258,7 @@ class CacheExecutor:
             output_writes=output_writes if machine.count_output_writes else 0,
             peak_cache=peak,
         )
+        return result, evictions
 
 
 def simulate_io(

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.bilinear.algorithm import BilinearAlgorithm
 from repro.errors import HallConditionError
+from repro.telemetry.spans import span
 from repro.utils.flow import capacitated_matching, hall_violator
 from repro.utils.indexing import pair_index, pair_unindex
 
@@ -96,8 +97,11 @@ def base_matching(alg: BilinearAlgorithm, side: str) -> dict[tuple[int, int], in
         If no matching exists.  By Lemma 5 this certifies the input is
         *not* a correct single-use matrix-multiplication algorithm.
     """
-    deps, adjacency = hall_graph(alg, side)
-    assignment = capacitated_matching(adjacency, alg.b, alg.n0)
+    with span("routing.hall.base_matching", alg=alg.name, side=side) as sp:
+        deps, adjacency = hall_graph(alg, side)
+        sp.add("dependencies", len(deps))
+        sp.add("multiplications", alg.b)
+        assignment = capacitated_matching(adjacency, alg.b, alg.n0)
     if assignment is None:
         violator = hall_violator(adjacency, alg.b, alg.n0)
         D = [deps[x] for x in violator[0]] if violator else None

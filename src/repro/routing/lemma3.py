@@ -33,6 +33,7 @@ from repro.errors import RoutingError
 from repro.routing.guaranteed import guaranteed_dependencies
 from repro.routing.hall import base_matching
 from repro.routing.paths import Routing
+from repro.telemetry.spans import span
 from repro.utils.indexing import MixedRadix
 
 __all__ = ["dependency_chain", "lemma3_routing"]
@@ -91,15 +92,19 @@ def lemma3_routing(
     ``matchings`` may carry precomputed base matchings (keys "A"/"B").
     """
     alg = cdag.alg
-    sides = ("A", "B") if side is None else (side,)
-    matchings = matchings or {}
-    for s in sides:
-        if s not in matchings:
-            matchings[s] = base_matching(alg, s)
+    with span("routing.lemma3", alg=alg.name, k=cdag.r) as sp:
+        sides = ("A", "B") if side is None else (side,)
+        matchings = matchings or {}
+        for s in sides:
+            if s not in matchings:
+                matchings[s] = base_matching(alg, s)
 
-    routing = Routing(cdag, label=f"lemma3[{'+'.join(sides)}] r={cdag.r}")
-    for s in sides:
-        match = matchings[s]
-        for v, w in guaranteed_dependencies(cdag, side=s):
-            routing.add(dependency_chain(cdag, v, w, match), source=v, target=w)
-    return routing
+        routing = Routing(cdag, label=f"lemma3[{'+'.join(sides)}] r={cdag.r}")
+        for s in sides:
+            match = matchings[s]
+            for v, w in guaranteed_dependencies(cdag, side=s):
+                routing.add(
+                    dependency_chain(cdag, v, w, match), source=v, target=w
+                )
+        sp.add("chains", len(routing))
+        return routing

@@ -23,6 +23,7 @@ from repro.routing.lemma3 import lemma3_routing
 from repro.routing.lemma4 import lemma4_routing
 from repro.routing.paths import Routing
 from repro.routing.verify import RoutingReport, verify_routing
+from repro.telemetry.spans import span
 
 __all__ = ["theorem2_bound", "theorem2_routing", "theorem2_certificate"]
 
@@ -56,10 +57,13 @@ def theorem2_routing(
             f"{cdag.alg.name!r} violates the single-use assumption; "
             "Theorem 2's routing guarantee does not apply"
         )
-    chains = lemma3_routing(cdag)
-    routing = lemma4_routing(cdag, chains)
-    routing.label = f"theorem2 k={cdag.r} ({cdag.alg.name})"
-    return routing
+    with span("routing.theorem2", alg=cdag.alg.name, k=cdag.r) as sp:
+        chains = lemma3_routing(cdag)
+        routing = lemma4_routing(cdag, chains)
+        routing.label = f"theorem2 k={cdag.r} ({cdag.alg.name})"
+        sp.add("chains", len(chains))
+        sp.add("paths", len(routing))
+        return routing
 
 
 @dataclass(frozen=True)
@@ -90,35 +94,43 @@ def theorem2_certificate(
     """
     from repro.routing.lemma4 import chain_usage_counts
 
-    cdag = build_cdag(alg, k)
-    if meta is None:
-        meta = compute_metavertices(cdag)
+    with span("routing.certificate", alg=alg.name, k=k) as sp:
+        cdag = build_cdag(alg, k)
+        if meta is None:
+            meta = compute_metavertices(cdag)
 
-    chains = lemma3_routing(cdag)
-    lemma3_bound = 2 * alg.n0**k
-    lemma3_report = verify_routing(cdag, chains, lemma3_bound, meta=meta)
+        chains = lemma3_routing(cdag)
+        lemma3_bound = 2 * alg.n0**k
+        lemma3_report = verify_routing(cdag, chains, lemma3_bound, meta=meta)
 
-    usage = chain_usage_counts(cdag, chains)
-    expected_usage = 3 * alg.n0**k
-    usage_exact = all(count == expected_usage for count in usage.values())
-    if not usage_exact:
-        raise RoutingError(
-            "Lemma 4 chain usage is not exactly 3 n0^k for some chain"
+        usage = chain_usage_counts(cdag, chains)
+        expected_usage = 3 * alg.n0**k
+        usage_exact = all(count == expected_usage for count in usage.values())
+        if not usage_exact:
+            raise RoutingError(
+                "Lemma 4 chain usage is not exactly 3 n0^k for some chain"
+            )
+
+        routing = lemma4_routing(cdag, chains)
+        expected_pairs = {
+            (int(v), int(w))
+            for v in cdag.inputs()
+            for w in cdag.outputs()
+        }
+        report = verify_routing(
+            cdag,
+            routing,
+            theorem2_bound(alg, k),
+            meta=meta,
+            expected_pairs=expected_pairs,
         )
-
-    routing = lemma4_routing(cdag, chains)
-    expected_pairs = {
-        (int(v), int(w))
-        for v in cdag.inputs()
-        for w in cdag.outputs()
-    }
-    report = verify_routing(
-        cdag,
-        routing,
-        theorem2_bound(alg, k),
-        meta=meta,
-        expected_pairs=expected_pairs,
-    )
+        # Max-hit ledgers: the measured extremes the 6a^k claim is
+        # checked against, plus Lemma 4's per-chain reuse count.
+        sp.add("paths", report.n_paths)
+        sp.add("max_vertex_hits", report.max_vertex_hits)
+        sp.add("max_meta_hits", report.max_meta_hits)
+        sp.add("lemma3_max_hits", lemma3_report.max_vertex_hits)
+        sp.add("chain_reuse", expected_usage)
     return Theorem2Certificate(
         algorithm=alg.name,
         k=k,

@@ -57,13 +57,25 @@ class EventLog:
         self._owned = False
         self.counts: Counter = Counter()
         self.records: list[dict] = []
+        self._bound: dict = {}
         if self.path is not None and self._stream is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = self.path.open("a", encoding="utf-8")
             self._owned = True
 
+    def bind(self, **fields) -> None:
+        """Merge ``fields`` into every subsequent record (drop a field
+        by binding it to ``None``) — used to stamp all of a sweep's
+        events with its telemetry span id."""
+        for name, value in fields.items():
+            if value is None:
+                self._bound.pop(name, None)
+            else:
+                self._bound[name] = value
+
     def emit(self, event: str, **fields) -> dict:
         record = {"ts": round(float(self._clock()), 6), "event": event}
+        record.update(self._bound)
         record.update(fields)
         self.counts[event] += 1
         self.records.append(record)

@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import telemetry
 from repro.runner.events import EventLog, ProgressLine
 from repro.runner.jobs import JobSpec, accepts_seed, resolve_entrypoint
 from repro.runner.store import ResultStore, result_to_payload
@@ -88,6 +89,9 @@ class JobOutcome:
     error: str | None = None
     duration: float | None = None
     worker: int | None = None
+    #: worker-side telemetry snapshot (``profile=True`` runs only):
+    #: ``{"spans": [...], "metrics": {...}, "span_id": ...}``.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -135,16 +139,36 @@ def _execute_job(job_doc: dict) -> dict:
         seed=job_doc.get("seed"),
         entrypoint=job_doc.get("entrypoint"),
     )
-    fn = resolve_entrypoint(spec)
-    kwargs = dict(spec.params)
-    if spec.seed is not None:
-        if not accepts_seed(fn):
-            raise TypeError(
-                f"job {spec.label!r} carries an explicit seed but "
-                f"{getattr(fn, '__name__', fn)!r} takes no 'seed' argument"
-            )
-        kwargs["seed"] = spec.seed
-    result = fn(**kwargs)
+    profile = bool(job_doc.get("telemetry"))
+    job_span = None
+    if profile:
+        # Worker-side root span: explicit cross-process parentage so the
+        # merged Chrome trace nests this job under the sweep span.
+        from repro import telemetry
+
+        telemetry.enable()
+        telemetry.reset()
+        job_span = telemetry.span(
+            "runner.job",
+            parent=job_doc.get("parent_span"),
+            job=spec.label,
+            experiment=spec.experiment_id,
+        )
+        job_span.__enter__()
+    try:
+        fn = resolve_entrypoint(spec)
+        kwargs = dict(spec.params)
+        if spec.seed is not None:
+            if not accepts_seed(fn):
+                raise TypeError(
+                    f"job {spec.label!r} carries an explicit seed but "
+                    f"{getattr(fn, '__name__', fn)!r} takes no 'seed' argument"
+                )
+            kwargs["seed"] = spec.seed
+        result = fn(**kwargs)
+    finally:
+        if job_span is not None:
+            job_span.__exit__(None, None, None)
     # Local import keeps worker startup lazy on the common path.
     from repro.experiments.harness import ExperimentResult
 
@@ -163,11 +187,23 @@ def _execute_job(job_doc: dict) -> dict:
             f"job {spec.label!r} returned {type(result).__name__}; expected "
             f"ExperimentResult or dict"
         )
-    return {
+    res = {
         "payload": payload,
         "worker": os.getpid(),
         "duration": time.perf_counter() - t0,
     }
+    if profile:
+        from repro import telemetry
+
+        # Telemetry rides next to the payload, never inside it: stored
+        # artifacts stay byte-deterministic, timings stay in the log.
+        res["telemetry"] = {
+            "spans": telemetry.drain_spans(),
+            "metrics": telemetry.metrics().as_dict(),
+            "span_id": job_span.span_id,
+        }
+        telemetry.reset_metrics()
+    return res
 
 
 def run_sweep(
@@ -182,6 +218,7 @@ def run_sweep(
     events: EventLog | None = None,
     progress: ProgressLine | bool | None = None,
     mp_context=None,
+    profile: bool = False,
 ) -> list[JobOutcome]:
     """Run ``specs`` through a worker pool; one outcome per spec, in
     input order.
@@ -208,6 +245,11 @@ def run_sweep(
     progress:
         ``None`` auto-enables a live line on a tty; ``False`` disables;
         a :class:`ProgressLine` instance is used as-is.
+    profile:
+        Collect telemetry: the sweep runs under a ``runner.sweep`` span,
+        each worker opens a ``runner.job`` span parented to it, and
+        worker spans/metrics are merged back into this process (see
+        :mod:`repro.telemetry`).  Events carry the owning span ids.
     """
     workers = max(1, int(workers))
     retries = max(0, int(retries))
@@ -215,6 +257,20 @@ def run_sweep(
         events = EventLog()
     states = [_JobState(spec) for spec in specs]
     outcomes: dict[int, JobOutcome] = {}
+
+    sweep_span = None
+    was_enabled = telemetry.enabled()
+    if profile:
+        telemetry.enable()
+        sweep_span = telemetry.span(
+            "runner.sweep", jobs=len(states), workers=workers
+        )
+        sweep_span.__enter__()
+        events.bind(span=sweep_span.span_id)
+        for st in states:
+            st.job_doc["telemetry"] = True
+            st.job_doc["parent_span"] = sweep_span.span_id
+
     t_sweep = time.monotonic()
     events.emit("sweep_start", jobs=len(states), workers=workers)
 
@@ -293,11 +349,21 @@ def run_sweep(
         payload = res["payload"]
         if store is not None:
             store.put(st.spec, payload)
+        tele = res.get("telemetry")
+        if tele is not None:
+            # Merge the worker's snapshot into this process so exporters
+            # see the whole sweep; the artifact store never sees it.
+            telemetry.ingest_spans(tele.get("spans", ()))
+            telemetry.metrics().ingest(tele.get("metrics", {}))
         outcomes[index_of[id(st)]] = JobOutcome(
             st.spec, st.key, "ok",
             attempts=st.attempts, payload=payload,
             duration=res["duration"], worker=res["worker"],
+            telemetry=tele,
         )
+        extra = {}
+        if tele is not None and tele.get("span_id") is not None:
+            extra["job_span"] = tele["span_id"]
         events.emit(
             "job_finish",
             job=st.spec.label,
@@ -306,6 +372,7 @@ def run_sweep(
             attempt=len(st.attempts),
             duration=round(res["duration"], 6),
             worker=res["worker"],
+            **extra,
         )
 
     def _fail(st: _JobState, reason: str):
@@ -484,4 +551,12 @@ def run_sweep(
         cached=n_cached,
         duration=round(time.monotonic() - t_sweep, 6),
     )
+    if sweep_span is not None:
+        sweep_span.add("ok", n_ok)
+        sweep_span.add("cached", n_cached)
+        sweep_span.add("failed", n_failed)
+        sweep_span.__exit__(None, None, None)
+        events.bind(span=None)
+        if not was_enabled:
+            telemetry.disable()
     return ordered

@@ -16,6 +16,7 @@ import numpy as np
 from repro.cdag.graph import CDAG
 from repro.errors import ScheduleError
 from repro.schedules.base import demand_driven_schedule
+from repro.telemetry.spans import traced
 
 __all__ = ["loop_order_schedule", "classical_product_digits"]
 
@@ -56,6 +57,7 @@ def classical_product_digits(cdag: CDAG) -> np.ndarray:
     return np.stack([I, J, K], axis=1)
 
 
+@traced("schedules.loop_order")
 def loop_order_schedule(cdag: CDAG, order: str = "ijk") -> np.ndarray:
     """Schedule of a classical CDAG with products in loop-nest order.
 

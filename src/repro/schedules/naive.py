@@ -13,10 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cdag.graph import CDAG
+from repro.telemetry.spans import traced
 
 __all__ = ["rank_order_schedule"]
 
 
+@traced("schedules.rank_order")
 def rank_order_schedule(cdag: CDAG) -> np.ndarray:
     """All computable vertices sorted by (rank, vertex id)."""
     computable = np.nonzero(cdag.in_degree() > 0)[0]

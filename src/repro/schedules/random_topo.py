@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.cdag.graph import CDAG
 from repro.schedules.base import demand_driven_schedule
+from repro.telemetry.spans import span, traced
 from repro.utils.rngs import make_rng
 
 __all__ = ["random_topological_schedule", "random_product_order_schedule"]
@@ -26,31 +27,41 @@ __all__ = ["random_topological_schedule", "random_product_order_schedule"]
 def random_topological_schedule(cdag: CDAG, seed=None) -> np.ndarray:
     """Kahn's algorithm with uniformly random choice among ready
     vertices."""
-    rng = make_rng(seed)
-    pending = np.diff(cdag.pred_indptr).astype(np.int64)
-    ready = np.nonzero(pending == 0)[0].tolist()  # inputs
-    # Inputs are available, not scheduled; seed the frontier with the
-    # vertices they release.
-    out: list[int] = []
-    frontier: list[int] = []
-    for v in ready:
-        for s in cdag.successors(v).tolist():
-            pending[s] -= 1
-            if pending[s] == 0:
-                frontier.append(s)
+    with span("schedules.random_topo", seed=seed) as sp:
+        rng = make_rng(seed)
+        pending = np.diff(cdag.pred_indptr).astype(np.int64)
+        ready = np.nonzero(pending == 0)[0].tolist()  # inputs
+        # Inputs are available, not scheduled; seed the frontier with the
+        # vertices they release.
+        out: list[int] = []
+        frontier: list[int] = []
+        frontier_peak = 0
+        for v in ready:
+            for s in cdag.successors(v).tolist():
+                pending[s] -= 1
+                if pending[s] == 0:
+                    frontier.append(s)
 
-    while frontier:
-        i = int(rng.integers(len(frontier)))
-        frontier[i], frontier[-1] = frontier[-1], frontier[i]
-        v = frontier.pop()
-        out.append(v)
-        for s in cdag.successors(v).tolist():
-            pending[s] -= 1
-            if pending[s] == 0:
-                frontier.append(s)
-    return np.asarray(out, dtype=np.int64)
+        while frontier:
+            if len(frontier) > frontier_peak:
+                frontier_peak = len(frontier)
+            i = int(rng.integers(len(frontier)))
+            frontier[i], frontier[-1] = frontier[-1], frontier[i]
+            v = frontier.pop()
+            out.append(v)
+            for s in cdag.successors(v).tolist():
+                pending[s] -= 1
+                if pending[s] == 0:
+                    frontier.append(s)
+        # Deterministic given (cdag, seed): rng draws track the schedule
+        # exactly, so identical seeds yield identical counter values.
+        sp.add("scheduled", len(out))
+        sp.add("rng_draws", len(out))
+        sp.add("frontier_peak", frontier_peak)
+        return np.asarray(out, dtype=np.int64)
 
 
+@traced("schedules.random_product_order")
 def random_product_order_schedule(cdag: CDAG, seed=None) -> np.ndarray:
     """Demand-driven schedule with products in random order."""
     rng = make_rng(seed)

@@ -19,10 +19,12 @@ import numpy as np
 
 from repro.cdag.graph import CDAG
 from repro.schedules.base import demand_driven_schedule
+from repro.telemetry.spans import traced
 
 __all__ = ["recursive_schedule"]
 
 
+@traced("schedules.recursive")
 def recursive_schedule(cdag: CDAG) -> np.ndarray:
     """Depth-first recursive schedule of ``G_r``.
 

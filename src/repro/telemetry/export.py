@@ -1,0 +1,155 @@
+"""Exporters: JSON, Prometheus text format, Chrome ``trace_event``.
+
+All exporters consume the plain-dict span records produced by
+:mod:`repro.telemetry.spans` and/or a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and produce either
+JSON-native documents or text — no third-party dependencies.
+
+The Chrome exporter emits the ``trace_event`` JSON-object format
+(``{"traceEvents": [...]}``) with complete (``"ph": "X"``) events, so a
+routing construction or a sweep can be dropped straight into
+``chrome://tracing`` / Perfetto; worker processes appear as separate
+``pid`` rows, and span counters ride along in ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+    "metrics_to_prometheus",
+    "telemetry_to_json",
+    "write_json",
+]
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[Mapping], metadata: Mapping | None = None
+) -> dict:
+    """Convert span records to a Chrome ``trace_event`` document.
+
+    Timestamps are rebased to the earliest span so the viewer opens at
+    t=0; durations and timestamps are microseconds, as the format
+    requires.
+    """
+    spans = list(spans)
+    t0 = min((s["ts"] for s in spans), default=0.0)
+    events = []
+    for s in spans:
+        args = dict(s.get("counters", {}))
+        args.update({f"attr.{k}": v for k, v in s.get("attrs", {}).items()})
+        args["span_id"] = s.get("span_id")
+        if s.get("parent_id"):
+            args["parent_id"] = s["parent_id"]
+        if s.get("rss_peak_delta_kib"):
+            args["rss_peak_delta_kib"] = s["rss_peak_delta_kib"]
+        if s.get("error"):
+            args["error"] = s["error"]
+        events.append(
+            {
+                "name": s["name"],
+                "cat": s["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": round((s["ts"] - t0) * 1e6, 3),
+                "dur": round(s["dur"] * 1e6, 3),
+                "pid": s.get("pid", 0),
+                "tid": s.get("tid", 0),
+                "args": args,
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def write_chrome_trace(
+    path, spans: Iterable[Mapping], metadata: Mapping | None = None
+) -> Path:
+    """Write a Chrome trace-event file; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = spans_to_chrome_trace(spans, metadata=metadata)
+    path.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+    return path
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return _PROM_NAME.sub("_", f"{prefix}_{name}" if prefix else name)
+
+
+def metrics_to_prometheus(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms emit cumulative
+    ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``, per the
+    format's histogram convention.
+    """
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        pname = _prom_name(name, prefix)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            if metric.last is not None:
+                lines.append(f"{pname} {metric.last}")
+            lines.append(f"{pname}_min {_nan(metric.min)}")
+            lines.append(f"{pname}_max {_nan(metric.max)}")
+            lines.append(f"{pname}_sum {metric.sum}")
+            lines.append(f"{pname}_count {metric.count}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in metric.bucket_bounds():
+                cumulative += count
+                lines.append(
+                    f'{pname}_bucket{{le="{bound:g}"}} {cumulative}'
+                )
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{pname}_sum {metric.sum}")
+            lines.append(f"{pname}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _nan(value):
+    return value if value is not None else "NaN"
+
+
+def telemetry_to_json(
+    spans: Iterable[Mapping] | None = None,
+    registry: MetricsRegistry | None = None,
+    metadata: Mapping | None = None,
+) -> dict:
+    """Combined machine-readable snapshot: spans + metrics + metadata."""
+    doc: dict = {"schema": 1}
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    if spans is not None:
+        doc["spans"] = list(spans)
+    if registry is not None:
+        doc["metrics"] = registry.as_dict()
+    return doc
+
+
+def write_json(path, doc: Mapping) -> Path:
+    """Write a JSON document with stable key order; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path

@@ -20,6 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import CacheError
+from repro.telemetry.spans import span
 from repro.utils.validation import check_positive_int
 
 __all__ = ["CacheStats", "FullyAssociativeLRU", "SetAssociativeLRU"]
@@ -139,11 +140,16 @@ class FullyAssociativeLRU:
     def run(self, trace) -> CacheStats:
         """Consume an iterable of ``(address, is_write)`` pairs and
         flush; returns the statistics."""
-        access = self.access
-        for address, is_write in trace:
-            access(address, is_write)
-        self.flush()
-        return self.stats
+        with span(
+            "tracesim.run", organisation="fully-associative",
+            capacity_lines=self.capacity, line_size=self.line_size,
+        ) as sp:
+            access = self.access
+            for address, is_write in trace:
+                access(address, is_write)
+            self.flush()
+            _record_cache_counters(sp, self.stats)
+            return self.stats
 
 
 class SetAssociativeLRU:
@@ -189,8 +195,21 @@ class SetAssociativeLRU:
             bucket.clear()
 
     def run(self, trace) -> CacheStats:
-        access = self.access
-        for address, is_write in trace:
-            access(address, is_write)
-        self.flush()
-        return self.stats
+        with span(
+            "tracesim.run", organisation="set-associative",
+            capacity_lines=self.capacity_lines, line_size=self.line_size,
+        ) as sp:
+            access = self.access
+            for address, is_write in trace:
+                access(address, is_write)
+            self.flush()
+            _record_cache_counters(sp, self.stats)
+            return self.stats
+
+
+def _record_cache_counters(sp, stats: CacheStats) -> None:
+    """Per-policy hit/miss/eviction counters onto the run's span."""
+    sp.add("accesses", stats.accesses)
+    sp.add("hits", stats.hits)
+    sp.add("misses", stats.misses)
+    sp.add("writebacks", stats.writebacks)

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Mapping, Sequence
 
+from repro.telemetry.spans import add_counter
+
 __all__ = [
     "hopcroft_karp",
     "capacitated_matching",
@@ -94,6 +96,9 @@ def hopcroft_karp(
         return False
 
     while bfs():
+        # One Hopcroft-Karp phase (a BFS layering plus its DFS
+        # augmentations) — surfaced to the telemetry span, if any.
+        add_counter("matching_phases")
         for x in range(n_left):
             if match_left[x] == -1:
                 dfs(x)

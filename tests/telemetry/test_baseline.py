@@ -1,0 +1,111 @@
+"""Perf baselines: BENCH naming, recording, and regression gating
+(including the synthetic 10x slowdown that must trip --compare)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import baseline as bl
+
+
+def test_bench_filename_mapping():
+    assert bl.bench_filename("E1") == "BENCH_e01.json"
+    assert bl.bench_filename("E14") == "BENCH_e14.json"
+    assert bl.bench_filename("My Exp!") == "BENCH_my_exp.json"
+
+
+def test_measure_experiment_shape():
+    doc = bl.measure_experiment("E1", repeats=2)
+    assert doc["schema"] == bl.BENCH_SCHEMA
+    assert doc["experiment"] == "E1"
+    assert doc["repeats"] == 2 and len(doc["times_s"]) == 2
+    assert doc["median_s"] >= 0
+    assert doc["counters"], "E1 must produce telemetry counters"
+    assert all(
+        isinstance(v, (int, float)) for v in doc["counters"].values()
+    )
+
+
+def test_write_and_load_round_trip(tmp_path):
+    doc = bl.measure_experiment("E1", repeats=1)
+    path = bl.write_baseline(doc, tmp_path)
+    assert path.name == "BENCH_e01.json"
+    assert bl.load_baseline("E1", tmp_path) == json.loads(path.read_text())
+    assert bl.load_baseline("E2", tmp_path) is None
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    (tmp_path / "BENCH_e01.json").write_text('{"schema": 999}')
+    assert bl.load_baseline("E1", tmp_path) is None
+    (tmp_path / "BENCH_e02.json").write_text("not json")
+    assert bl.load_baseline("E2", tmp_path) is None
+
+
+def test_compare_docs_verdicts():
+    base = {"experiment": "E1", "median_s": 1.0, "counters": {"a": 5}}
+    ok = bl.compare_docs(
+        base, {"experiment": "E1", "median_s": 1.2, "counters": {"a": 5}}, 1.5
+    )
+    assert ok["ok"] and not ok["regression"]
+    assert ok["ratio"] == pytest.approx(1.2)
+    assert ok["counter_drift"] == []
+
+    bad = bl.compare_docs(
+        base, {"experiment": "E1", "median_s": 2.0, "counters": {"a": 7}}, 1.5
+    )
+    assert not bad["ok"] and bad["regression"]
+    assert bad["counter_drift"] == [
+        {"counter": "a", "baseline": 5, "current": 7}
+    ]
+
+
+def test_counter_drift_does_not_gate():
+    base = {"experiment": "E1", "median_s": 1.0, "counters": {"a": 5}}
+    cur = {"experiment": "E1", "median_s": 1.0, "counters": {"a": 500}}
+    report = bl.compare_docs(base, cur, 1.5)
+    assert report["ok"] and len(report["counter_drift"]) == 1
+
+
+def test_run_perf_record_then_compare_ok(tmp_path, capsys):
+    rc = bl.run_perf(["E1"], repeats=1, root=tmp_path)
+    assert rc == 0
+    assert (tmp_path / "BENCH_e01.json").exists()
+    # Unchanged code: a generous threshold must pass.
+    rc = bl.run_perf(["E1"], repeats=1, root=tmp_path, compare=True,
+                     threshold=10.0)
+    assert rc == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_run_perf_compare_missing_baseline_fails(tmp_path, capsys):
+    rc = bl.run_perf(["E1"], repeats=1, root=tmp_path, compare=True)
+    assert rc == 1
+    assert "NO BASELINE" in capsys.readouterr().out
+
+
+def test_run_perf_detects_synthetic_slowdown(tmp_path, capsys, monkeypatch):
+    """Acceptance: a 10x slowdown must exit nonzero past the threshold."""
+    assert bl.run_perf(["E1"], repeats=1, root=tmp_path) == 0
+
+    real_time_once = bl._time_once
+    monkeypatch.setattr(
+        bl, "_time_once", lambda fn, kw: real_time_once(fn, kw) * 10.0
+    )
+    rc = bl.run_perf(["E1"], repeats=1, root=tmp_path, compare=True,
+                     threshold=3.0)
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_run_perf_trace_and_json_outputs(tmp_path):
+    trace = tmp_path / "perf_trace.json"
+    combined = tmp_path / "perf.json"
+    rc = bl.run_perf(
+        ["E1"], repeats=1, root=tmp_path,
+        trace_out=trace, json_out=combined,
+    )
+    assert rc == 0
+    assert json.loads(trace.read_text())["traceEvents"]
+    doc = json.loads(combined.read_text())
+    assert doc["schema"] == 1
+    assert "E1" in doc["measurements"]
