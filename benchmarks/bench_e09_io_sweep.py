@@ -17,6 +17,10 @@ def test_e9_sweep_via_runner(run_sweep_benchmark):
 
     specs = expand_grid(
         "E9",
-        {"r_max": [3, 4], "cache_sizes": [[12, 24], [12, 24, 48]]},
+        {
+            "r_max": [3, 4],
+            "cache_sizes": [[12, 24], [12, 24, 48]],
+            "r_big": [None],
+        },
     )
     run_sweep_benchmark(specs, workers=2)

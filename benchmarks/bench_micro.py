@@ -27,7 +27,7 @@ from repro.cdag import build_cdag, compute_metavertices
 from repro.linalg import strassen_matmul
 from repro.pebbling import CacheExecutor
 from repro.routing import lemma3_routing, theorem2_routing
-from repro.schedules import recursive_schedule
+from repro.schedules import rank_order_schedule, recursive_schedule
 from repro.tracesim import FullyAssociativeLRU, trace_blocked
 
 
@@ -59,6 +59,13 @@ def test_executor_belady_r3(benchmark):
     benchmark(executor.run, sched, 64, "belady", False)
 
 
+def test_executor_run_many_r4(benchmark):
+    g = build_cdag(strassen(), 4)
+    executor = CacheExecutor(g)
+    sched = recursive_schedule(g)
+    benchmark(executor.run_many, sched, (12, 48, 96), ("lru", "belady"))
+
+
 def test_lemma3_routing_k3(benchmark):
     g = build_cdag(strassen(), 3)
     benchmark(lemma3_routing, g)
@@ -87,16 +94,47 @@ def test_trace_sim_blocked_32(benchmark):
 # Standalone machine-readable mode.
 
 
+def _reference_run():
+    """The pre-vectorisation executor kept under ``tests/`` as the
+    golden reference; benchmarked against the array core so the JSON
+    artifact records the measured speedup."""
+    import pathlib
+
+    repo_root = str(pathlib.Path(__file__).resolve().parent.parent)
+    if repo_root not in sys.path:
+        sys.path.insert(0, repo_root)
+    from tests.pebbling._reference import reference_run
+
+    return reference_run
+
+
 def make_cases() -> dict:
     """The same workloads as the pytest benches, with setup hoisted out
     of the timed bodies; name -> zero-arg callable."""
     g2 = build_cdag(strassen(), 2)
     g3 = build_cdag(strassen(), 3)
     g4 = build_cdag(strassen(), 4)
+    g5 = build_cdag(strassen(), 5)
     ex4 = CacheExecutor(g4)
     sched4 = ex4.validate_schedule(recursive_schedule(g4))
     ex3 = CacheExecutor(g3)
     sched3 = ex3.validate_schedule(recursive_schedule(g3))
+    ex5 = CacheExecutor(g5)
+    sched5 = ex5.validate_schedule(recursive_schedule(g5))
+    rank5 = rank_order_schedule(g5)
+    reference_run = _reference_run()
+    e9_grid = [(sched5, "belady"), (sched5, "lru"), (rank5, "lru")]
+    e9_Ms = (12, 24, 48, 96)
+
+    def e9_n32_core():
+        ex = CacheExecutor(g5)
+        ex.run_many(sched5, e9_Ms, ("belady", "lru"))
+        ex.run_many(rank5, e9_Ms, ("lru",))
+
+    def e9_n32_reference():
+        for M in e9_Ms:
+            for sched, pol in e9_grid:
+                reference_run(g5, sched, M, pol)
     rng = np.random.default_rng(0)
     A = rng.standard_normal((64, 64))
     B = rng.standard_normal((64, 64))
@@ -106,6 +144,23 @@ def make_cases() -> dict:
         "recursive_schedule_r4": lambda: recursive_schedule(g4),
         "executor_lru_r4": lambda: ex4.run(sched4, 64, "lru", False),
         "executor_belady_r3": lambda: ex3.run(sched3, 64, "belady", False),
+        # Paired sweep cases: the batched API on one executor vs the
+        # pre-run_many idiom (a fresh executor per configuration, so
+        # validation and use-list precompute repeat).  run_benchmarks
+        # derives their ratio into "executor_sweep_speedup".
+        "executor_sweep_run_many": (
+            lambda: ex4.run_many(sched4, (12, 48, 96), ("lru", "belady"))
+        ),
+        "executor_sweep_repeated_run": lambda: [
+            CacheExecutor(g4).run(sched4, M, pol)
+            for M in (12, 48, 96)
+            for pol in ("lru", "belady")
+        ],
+        # The full E9 n=32 measurement grid (12 configurations) on the
+        # array core + run_many vs the pre-vectorisation reference
+        # simulator; their ratio lands in "executor_e9_n32_speedup".
+        "executor_e9_n32_grid_core": e9_n32_core,
+        "executor_e9_n32_grid_reference": e9_n32_reference,
         "lemma3_routing_k3": lambda: lemma3_routing(g3),
         "theorem2_routing_k2": lambda: theorem2_routing(g2),
         "strassen_matmul_64": lambda: strassen_matmul(A, B, None, 8),
@@ -146,6 +201,18 @@ def run_benchmarks(repeats: int = 3, select: str | None = None) -> dict:
         metadata={"tool": "bench_micro", "repeats": repeats},
     )
     doc["benchmarks"] = results
+    derived = {}
+    for label, fast, slow in (
+        ("executor_sweep_speedup",
+         "executor_sweep_run_many", "executor_sweep_repeated_run"),
+        ("executor_e9_n32_speedup",
+         "executor_e9_n32_grid_core", "executor_e9_n32_grid_reference"),
+    ):
+        a, b = results.get(fast), results.get(slow)
+        if a and b and a["median_s"] > 0:
+            derived[label] = round(b["median_s"] / a["median_s"], 2)
+    if derived:
+        doc["derived"] = derived
     return doc
 
 

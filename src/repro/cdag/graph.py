@@ -117,6 +117,7 @@ class CDAG:
         self.pred_indices = pred_indices
         self.is_copy = is_copy
         self.n_vertices = len(pred_indptr) - 1
+        self._pred_csr: tuple[np.ndarray, np.ndarray] | None = None
 
         # Derived per-vertex metadata (flat arrays).
         rank = np.empty(self.n_vertices, dtype=np.int16)
@@ -217,6 +218,23 @@ class CDAG:
     # ------------------------------------------------------------------
     # Adjacency
     # ------------------------------------------------------------------
+
+    def pred_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The predecessor adjacency as cached CSR arrays
+        ``(indptr, indices)``, both contiguous int64.
+
+        This is the representation the array-backed simulators consume
+        (one vectorised gather per schedule instead of per-vertex
+        :meth:`predecessors` calls); the arrays are shared, not copied —
+        treat them as read-only.
+        """
+        csr = self._pred_csr
+        if csr is None:
+            csr = self._pred_csr = (
+                np.ascontiguousarray(self.pred_indptr, dtype=np.int64),
+                np.ascontiguousarray(self.pred_indices, dtype=np.int64),
+            )
+        return csr
 
     def predecessors(self, v: int) -> np.ndarray:
         """Vertices ``v`` directly depends on."""

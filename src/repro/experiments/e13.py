@@ -28,7 +28,7 @@ from repro.bilinear import strassen, strassen_x_classical
 from repro.bilinear.synthetic import with_duplicate_product
 from repro.cdag import build_cdag, compute_metavertices, compute_value_classes
 from repro.experiments.harness import ExperimentResult, register
-from repro.pebbling import SegmentAnalysis, simulate_io
+from repro.pebbling import CacheExecutor, SegmentAnalysis
 from repro.routing import theorem2_bound, theorem2_routing
 from repro.schedules import (
     random_topological_schedule,
@@ -97,18 +97,22 @@ def run(seed: int = 2) -> ExperimentResult:
         ("rank-order", rank_order_schedule(g3)),
         ("random", random_topological_schedule(g3, seed=seed)),
     ]
+    executor3 = CacheExecutor(g3)
     for name, sched in schedules:
+        swept = executor3.run_many(
+            sched, (16, 64), ("belady", "lru", "fifo"), validate=False
+        )
         for M in (16, 64):
-            belady = simulate_io(g3, sched, M, "belady", validate=False).total
-            lru = simulate_io(g3, sched, M, "lru", validate=False).total
-            fifo = simulate_io(g3, sched, M, "fifo", validate=False).total
+            belady = swept[(M, "belady")]
+            lru = swept[(M, "lru")]
+            fifo = swept[(M, "fifo")]
             policy_table.add_row(
-                [name, M, belady, lru, fifo, round(lru / belady, 2),
-                 round(fifo / belady, 2)]
+                [name, M, belady.total, lru.total, fifo.total,
+                 round(lru.total / belady.total, 2),
+                 round(fifo.total / belady.total, 2)]
             )
             checks[f"{name} M={M}: MIN minimises reads"] = (
-                simulate_io(g3, sched, M, "belady", validate=False).reads
-                <= simulate_io(g3, sched, M, "lru", validate=False).reads
+                belady.reads <= lru.reads
             )
 
     # ------------------------------------------------------------------

@@ -12,13 +12,18 @@ Provided policies:
   the future (offline MIN; optimal for read misses, the standard proxy
   for the model's "minimum over I/O placements given the compute order").
 
-All policies are deterministic so experiment runs are reproducible.
+All policies are deterministic so experiment runs are reproducible, and
+all three select victims through lazy min-heaps (stale entries are
+invalidated on pop), so ``choose_victim`` costs O(log) amortised instead
+of a scan over the candidate set.  These objects are the *reference*
+semantics: the array-backed loops in
+:mod:`repro.pebbling.executor` inline the same decision rules and are
+held bit-identical to them by the golden-equivalence tests.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable
 
 from repro.errors import CacheError
 
@@ -46,43 +51,78 @@ class EvictionPolicy:
         raise NotImplementedError
 
 
-class LRUPolicy(EvictionPolicy):
+class _StampHeapPolicy(EvictionPolicy):
+    """Shared lazy min-heap machinery for the stamp-ordered policies.
+
+    ``choose_victim`` pops the heap until the top entry is *fresh* (its
+    stamp matches the current one — an evicted or re-stamped vertex
+    leaves stale entries behind) and a member of the candidate set.
+    Fresh entries of non-candidates (the executor's pinned working set)
+    are set aside and re-pushed so they stay eligible later.  The
+    selected victim is ``min(candidates, key=(stamp, v))`` — the same
+    value, with the same deterministic vertex-id tie-break, as the
+    former O(|candidates|) scan, at O(log) amortised cost.
+    """
+
+    def __init__(self):
+        self.stamp: dict[int, int] = {}
+        self.heap: list[tuple[int, int]] = []
+
+    def _touch(self, v: int, time: int) -> None:
+        self.stamp[v] = time
+        heapq.heappush(self.heap, (time, v))
+
+    def on_evict(self, v: int) -> None:
+        self.stamp.pop(v, None)
+
+    def choose_victim(self, candidates: set[int]) -> int:
+        heap = self.heap
+        stamp = self.stamp
+        aside: list[tuple[int, int]] = []
+        victim = -1
+        while heap:
+            time, v = heap[0]
+            if stamp.get(v) != time:
+                heapq.heappop(heap)     # stale: evicted or re-stamped
+                continue
+            if v not in candidates:
+                aside.append(heapq.heappop(heap))
+                continue
+            victim = v
+            break
+        for entry in aside:
+            heapq.heappush(heap, entry)
+        if victim < 0:
+            raise CacheError("no eviction candidate available")
+        return victim
+
+
+class LRUPolicy(_StampHeapPolicy):
     """Evict the candidate least recently inserted-or-used."""
 
     def __init__(self):
-        self.last_touch: dict[int, int] = {}
+        super().__init__()
+        self.last_touch = self.stamp    # back-compat alias
 
     def on_insert(self, v: int, time: int) -> None:
-        self.last_touch[v] = time
+        self._touch(v, time)
 
     def on_use(self, v: int, time: int) -> None:
-        self.last_touch[v] = time
-
-    def on_evict(self, v: int) -> None:
-        self.last_touch.pop(v, None)
-
-    def choose_victim(self, candidates: set[int]) -> int:
-        # Deterministic: break timestamp ties by vertex id.
-        return min(candidates, key=lambda v: (self.last_touch[v], v))
+        self._touch(v, time)
 
 
-class FIFOPolicy(EvictionPolicy):
+class FIFOPolicy(_StampHeapPolicy):
     """Evict the candidate inserted earliest (uses don't refresh)."""
 
     def __init__(self):
-        self.inserted_at: dict[int, int] = {}
+        super().__init__()
+        self.inserted_at = self.stamp   # back-compat alias
 
     def on_insert(self, v: int, time: int) -> None:
-        self.inserted_at[v] = time
+        self._touch(v, time)
 
     def on_use(self, v: int, time: int) -> None:  # uses don't matter
         pass
-
-    def on_evict(self, v: int) -> None:
-        self.inserted_at.pop(v, None)
-
-    def choose_victim(self, candidates: set[int]) -> int:
-        return min(candidates, key=lambda v: (self.inserted_at[v], v))
 
 
 class BeladyPolicy(EvictionPolicy):

@@ -7,11 +7,10 @@ a cache size ``M``, the executor simulates the machine:
 - computing vertex ``v`` first loads any predecessor not in cache (one
   read I/O each — values already stored to slow memory are re-read, input
   values are read for the first time);
-- evictions happen on demand, chosen by an
-  :class:`~repro.pebbling.cache.EvictionPolicy`; evicting a *dirty* value
-  (computed but never stored) that is still live — it has remaining uses
-  or is an unfinished output — costs one write I/O; evicting a clean or
-  dead value is free;
+- evictions happen on demand, chosen by an eviction policy (LRU, FIFO or
+  offline-MIN/Belady); evicting a *dirty* value (computed but never
+  stored) that is still live — it has remaining uses or is an unfinished
+  output — costs one write I/O; evicting a clean or dead value is free;
 - at the end every output must reside in slow memory (final writes).
 
 The predecessors of the current computation plus its result are pinned
@@ -22,17 +21,40 @@ I/O placements; the executor provides the measurable upper side: the
 paper's Theorem 1 lower bound must sit below every
 ``(schedule, policy)`` measurement, and the recursive schedule's
 measurement should track the matching upper bound (experiment E9).
+
+Implementation notes (the hot path)
+-----------------------------------
+The simulator is array-backed: a schedule is compiled once into a
+:class:`_SchedulePlan` — flat CSR-style operand arrays gathered from the
+CDAG's predecessor CSR, per-occurrence *next-use* times (a backward-scan
+linked list, so Belady needs no per-vertex Python lists or cursor
+dicts), per-vertex first-use times and initial use counts — and the
+inner loop runs over dense structures indexed by vertex id (flat
+bitmaps for cached/dirty/in-slow, flat ``uses_left``/``last_touch``
+arrays) instead of per-step sets and dicts.  Victim selection is a lazy
+min-heap for every policy (O(log) amortised instead of an
+O(|candidates|) scan), with the same deterministic tie-break on vertex
+id as the reference policy objects in :mod:`repro.pebbling.cache` —
+:func:`~repro.pebbling.pebble_game.trace_from_executor` replays runs
+through those reference policies and the equivalence is asserted by the
+golden tests.
+
+Plans are cached on the executor and shared across cache sizes and
+policies; :meth:`CacheExecutor.run_many` exposes that reuse as a batched
+sweep API (validate once, precompute once, run every ``(M, policy)``
+configuration).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 import numpy as np
 
 from repro.cdag.graph import CDAG
 from repro.errors import CacheError, ScheduleError
-from repro.pebbling.cache import make_policy
 from repro.pebbling.machine import MachineModel
 from repro.telemetry.spans import span
 
@@ -75,43 +97,164 @@ class IOResult:
         return self.reads + self.writes
 
 
+class _SchedulePlan:
+    """Policy-independent precompute for one schedule (built once,
+    reused across every ``(cache_size, policy)`` configuration).
+
+    All arrays are flat and vectorised off the CDAG's predecessor CSR:
+
+    - ``step_indptr`` / ``step_ops``: operand occurrences in schedule
+      order (``step_ops[step_indptr[t]:step_indptr[t+1]]`` are the
+      predecessors of the vertex computed at step ``t``);
+    - ``occ_next``: for each occurrence, the next step at which the same
+      vertex is used again (``T`` = never) — the backward-scan next-use
+      linked list Belady keys evictions on;
+    - ``first_use``: per vertex, the first step using it (``T`` = never);
+    - ``uses_left0``: per vertex, total number of uses.
+
+    The hot loop indexes these as Python lists (cheaper per element than
+    numpy scalars); the numpy originals stay available for callers.
+    """
+
+    __slots__ = (
+        "schedule", "step_indptr", "step_ops", "occ_next", "first_use",
+        "uses_left0", "n_steps", "validated",
+        "_sched_l", "_indptr_l", "_ops_l", "_occ_next_l", "_first_use_l",
+        "_uses_l",
+    )
+
+    def __init__(self, cdag: CDAG, schedule: np.ndarray, validated: bool):
+        n = cdag.n_vertices
+        self.schedule = schedule
+        self.validated = validated
+        T = self.n_steps = len(schedule)
+        step_indptr, step_ops, occ_time = _gather_operands(cdag, schedule)
+        total = len(step_ops)
+
+        # Backward-scan next-use list, vectorised: stable-sort the
+        # occurrences by vertex (they are already time-ordered, so each
+        # vertex's group stays time-ordered) and link neighbours.
+        order = np.argsort(step_ops, kind="stable")
+        sv = step_ops[order]
+        st = occ_time[order]
+        nxt = np.full(total, T, dtype=np.int64)
+        if total > 1:
+            same = sv[:-1] == sv[1:]
+            nxt[:-1][same] = st[1:][same]
+        occ_next = np.empty(total, dtype=np.int64)
+        occ_next[order] = nxt
+
+        first_use = np.full(n, T, dtype=np.int64)
+        if total:
+            first_use[sv[::-1]] = st[::-1]
+
+        self.step_indptr = step_indptr
+        self.step_ops = step_ops
+        self.occ_next = occ_next
+        self.first_use = first_use
+        self.uses_left0 = np.bincount(step_ops, minlength=n).astype(np.int64)
+
+        self._sched_l = schedule.tolist()
+        self._indptr_l = step_indptr.tolist()
+        self._ops_l = step_ops.tolist()
+        self._occ_next_l = occ_next.tolist()
+        self._first_use_l = first_use.tolist()
+        self._uses_l = self.uses_left0.tolist()
+
+
+def _gather_operands(
+    cdag: CDAG, schedule: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten the predecessor lists of a schedule into occurrence
+    arrays: ``(step_indptr, step_ops, occ_time)``."""
+    indptr, indices = cdag.pred_csr()
+    T = len(schedule)
+    starts = indptr[schedule]
+    counts = indptr[schedule + 1] - starts
+    step_indptr = np.zeros(T + 1, dtype=np.int64)
+    np.cumsum(counts, out=step_indptr[1:])
+    total = int(step_indptr[-1])
+    gather = np.repeat(starts - step_indptr[:-1], counts)
+    gather += np.arange(total, dtype=np.int64)
+    step_ops = indices[gather]
+    occ_time = np.repeat(np.arange(T, dtype=np.int64), counts)
+    return step_indptr, step_ops, occ_time
+
+
 class CacheExecutor:
     """Reusable executor for one CDAG (precomputes use lists once)."""
+
+    _MAX_CACHED_PLANS = 8
 
     def __init__(self, cdag: CDAG):
         self.cdag = cdag
         self.is_output = np.zeros(cdag.n_vertices, dtype=bool)
         self.is_output[cdag.outputs()] = True
         self.is_input = cdag.in_degree() == 0
+        self._plans: dict[bytes, _SchedulePlan] = {}
 
     # ------------------------------------------------------------------
 
     def validate_schedule(self, schedule: np.ndarray) -> np.ndarray:
         """Check the schedule is a topological permutation of the
         non-input vertices; returns it as an int64 array."""
-        schedule = np.asarray(schedule, dtype=np.int64)
-        computed_expected = np.nonzero(~self.is_input)[0]
-        if len(schedule) != len(computed_expected):
+        schedule = np.ascontiguousarray(schedule, dtype=np.int64)
+        n = self.cdag.n_vertices
+        n_computable = int((~self.is_input).sum())
+        if len(schedule) != n_computable:
             raise ScheduleError(
                 f"schedule has {len(schedule)} entries; CDAG has "
-                f"{len(computed_expected)} computable vertices"
+                f"{n_computable} computable vertices"
             )
-        seen = np.zeros(self.cdag.n_vertices, dtype=bool)
-        seen[np.nonzero(self.is_input)[0]] = True
-        for v in schedule.tolist():
-            if not 0 <= v < self.cdag.n_vertices:
-                raise ScheduleError(f"vertex {v} out of range")
-            if seen[v]:
-                raise ScheduleError(f"vertex {v} scheduled twice (or is an input)")
-            for p in self.cdag.predecessors(v):
-                if not seen[p]:
-                    raise ScheduleError(
-                        f"vertex {v} scheduled before its predecessor {int(p)}"
-                    )
-            seen[v] = True
+        out_of_range = (schedule < 0) | (schedule >= n)
+        if out_of_range.any():
+            v = int(schedule[int(np.argmax(out_of_range))])
+            raise ScheduleError(f"vertex {v} out of range")
+        T = len(schedule)
+        # First occurrence of each vertex (reverse assignment: the
+        # earliest index wins); an occurrence that is not the first, or
+        # that names an input, is rejected exactly as the reference
+        # per-step scan did.
+        first_occ = np.full(n, -1, dtype=np.int64)
+        first_occ[schedule[::-1]] = np.arange(T - 1, -1, -1, dtype=np.int64)
+        bad = self.is_input[schedule]
+        bad |= first_occ[schedule] != np.arange(T, dtype=np.int64)
+        if bad.any():
+            v = int(schedule[int(np.argmax(bad))])
+            raise ScheduleError(f"vertex {v} scheduled twice (or is an input)")
+        # Topological: every non-input operand must be scheduled
+        # strictly before its use.
+        _, step_ops, occ_time = _gather_operands(self.cdag, schedule)
+        viol = ~self.is_input[step_ops]
+        viol &= first_occ[step_ops] >= occ_time
+        if viol.any():
+            i = int(np.argmax(viol))
+            raise ScheduleError(
+                f"vertex {int(schedule[occ_time[i]])} scheduled before "
+                f"its predecessor {int(step_ops[i])}"
+            )
         return schedule
 
     # ------------------------------------------------------------------
+
+    def _plan(self, schedule, validate: bool) -> _SchedulePlan:
+        """Fetch or build the :class:`_SchedulePlan` for ``schedule``
+        (small content-keyed cache, so repeated ``run`` calls on the
+        same schedule reuse the precompute like ``run_many`` does)."""
+        schedule = np.ascontiguousarray(schedule, dtype=np.int64)
+        key = hashlib.blake2b(schedule.tobytes(), digest_size=16).digest()
+        plan = self._plans.get(key)
+        if plan is None:
+            if validate:
+                schedule = self.validate_schedule(schedule)
+            plan = _SchedulePlan(self.cdag, schedule, validated=validate)
+            if len(self._plans) >= self._MAX_CACHED_PLANS:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+        elif validate and not plan.validated:
+            self.validate_schedule(schedule)
+            plan.validated = True
+        return plan
 
     def run(
         self,
@@ -135,112 +278,74 @@ class CacheExecutor:
             result, evictions = self._run(
                 schedule, cache_size, policy, validate, machine, io_trace
             )
-            sp.add("scheduled", self.cdag.n_vertices - int(self.is_input.sum()))
-            sp.add("reads", result.reads)
-            sp.add("writes", result.writes)
-            sp.add("evictions", evictions)
-            sp.add("spill_reads", result.spill_reads)
-            sp.add("spill_writes", result.spill_writes)
-            sp.set("peak_cache", result.peak_cache)
+            self._record_run_counters(sp, result, evictions)
             return result
+
+    def run_many(
+        self,
+        schedule,
+        cache_sizes,
+        policies=("lru",),
+        validate: bool = True,
+    ) -> dict[tuple[int, str], IOResult]:
+        """Batched sweep: run every ``(cache_size, policy)``
+        configuration over one schedule, validating it and building the
+        use-list precompute exactly once.
+
+        Returns ``{(cache_size, policy): IOResult}``.  Telemetry is
+        identical to the equivalent sequence of :meth:`run` calls (one
+        ``pebbling.run`` span per configuration).
+        """
+        plan = self._plan(schedule, validate)
+        results: dict[tuple[int, str], IOResult] = {}
+        for M in cache_sizes:
+            M = int(M)
+            machine = MachineModel(cache_size=M)
+            for policy in policies:
+                with span(
+                    "pebbling.run", policy=policy, cache_size=M
+                ) as sp:
+                    result, evictions = self._execute(
+                        plan, M, policy, machine, None
+                    )
+                    self._record_run_counters(sp, result, evictions)
+                results[(M, policy)] = result
+        return results
+
+    def _record_run_counters(self, sp, result: IOResult, evictions: int) -> None:
+        sp.add("scheduled", self.cdag.n_vertices - int(self.is_input.sum()))
+        sp.add("reads", result.reads)
+        sp.add("writes", result.writes)
+        sp.add("evictions", evictions)
+        sp.add("spill_reads", result.spill_reads)
+        sp.add("spill_writes", result.spill_writes)
+        sp.set("peak_cache", result.peak_cache)
+
+    # ------------------------------------------------------------------
 
     def _run(
         self, schedule, cache_size, policy, validate, machine, io_trace
     ) -> tuple[IOResult, int]:
-        cdag = self.cdag
         machine = machine or MachineModel(cache_size=cache_size)
-        machine.check_executable(cdag)
         if machine.cache_size != cache_size:
             raise CacheError("machine.cache_size disagrees with cache_size")
-        schedule = (
-            self.validate_schedule(schedule)
-            if validate
-            else np.asarray(schedule, dtype=np.int64)
-        )
+        plan = self._plan(schedule, validate)
+        return self._execute(plan, cache_size, policy, machine, io_trace)
 
-        # Remaining-use counts: how many scheduled computations still
-        # need each value as an operand.
-        uses_left = np.zeros(cdag.n_vertices, dtype=np.int64)
-        use_times: dict[int, list[int]] = {}
-        for t, v in enumerate(schedule.tolist()):
-            for p in cdag.predecessors(v).tolist():
-                uses_left[p] += 1
-                use_times.setdefault(p, []).append(t)
-
-        pol = make_policy(policy, use_times=use_times)
-
-        cached: set[int] = set()
-        dirty: set[int] = set()      # computed, not yet in slow memory
-        in_slow: set[int] = set(np.nonzero(self.is_input)[0].tolist())
-        output_written: set[int] = set()
-
-        reads = writes = input_reads = spill_reads = spill_writes = 0
-        output_writes = 0
-        peak = 0
-        evictions = 0
-
-        def evict(candidates: set[int]) -> None:
-            nonlocal writes, spill_writes, output_writes, evictions
-            evictions += 1
-            victim = pol.choose_victim(candidates)
-            cached.discard(victim)
-            pol.on_evict(victim)
-            if victim in dirty:
-                live = uses_left[victim] > 0
-                is_out = bool(self.is_output[victim])
-                if live or (is_out and victim not in output_written):
-                    writes += 1
-                    in_slow.add(victim)
-                    if is_out:
-                        output_writes += 1
-                        output_written.add(victim)
-                    else:
-                        spill_writes += 1
-                dirty.discard(victim)
-
-        for t, v in enumerate(schedule.tolist()):
-            preds = cdag.predecessors(v).tolist()
-            pinned = set(preds) | {v}
-            # Load missing operands.
-            for p in preds:
-                if p not in cached:
-                    if p not in in_slow:  # pragma: no cover - guarded by validate
-                        raise ScheduleError(
-                            f"operand {p} of {v} is neither cached nor in "
-                            "slow memory"
-                        )
-                    while len(cached) >= cache_size:
-                        evict(cached - pinned)
-                    cached.add(p)
-                    pol.on_insert(p, t)
-                    reads += 1
-                    if self.is_input[p]:
-                        input_reads += 1
-                    else:
-                        spill_reads += 1
-                else:
-                    pol.on_use(p, t)
-            # Make room for the result and compute.
-            while len(cached) >= cache_size:
-                evict(cached - pinned)
-            cached.add(v)
-            dirty.add(v)
-            pol.on_insert(v, t)
-            peak = max(peak, len(cached))
-            # Operands were "used" at time t — refresh recency.
-            for p in preds:
-                pol.on_use(p, t)
-            for p in preds:
-                uses_left[p] -= 1
-            if io_trace is not None:
-                io_trace.append(reads + writes)
-
-        # Drain: outputs still dirty must reach slow memory.
-        for v in sorted(dirty):
-            if self.is_output[v] and v not in output_written:
-                writes += 1
-                output_writes += 1
-                output_written.add(v)
+    def _execute(
+        self, plan, cache_size, policy, machine, io_trace
+    ) -> tuple[IOResult, int]:
+        machine.check_executable(self.cdag)
+        if policy in ("lru", "fifo"):
+            counts = self._simulate_recency(
+                plan, cache_size, policy == "lru", io_trace
+            )
+        elif policy == "belady":
+            counts = self._simulate_belady(plan, cache_size, io_trace)
+        else:
+            raise CacheError(f"unknown eviction policy {policy!r}")
+        (reads, writes, input_reads, spill_reads, spill_writes,
+         output_writes, peak, evictions) = counts
 
         if not machine.count_input_reads:
             reads -= input_reads
@@ -259,6 +364,254 @@ class CacheExecutor:
             peak_cache=peak,
         )
         return result, evictions
+
+    # -- hot loops -----------------------------------------------------
+    #
+    # Two near-identical loops (recency-stamped LRU/FIFO vs next-use
+    # keyed Belady).  State is flat and dense: bytearray bitmaps plus
+    # per-vertex stamp/key lists, with a lazy heap replacing the
+    # reference implementation's O(|candidates|) min scans.  Victim
+    # choices are bit-identical to the reference policy objects
+    # (:mod:`repro.pebbling.cache`); the golden-equivalence tests
+    # enforce this across schedules x policies x cache sizes.
+
+    def _simulate_recency(self, plan, cache_size, refresh_on_use, io_trace):
+        n = self.cdag.n_vertices
+        sched = plan._sched_l
+        indptr = plan._indptr_l
+        ops = plan._ops_l
+        uses_left = list(plan._uses_l)
+        is_input = self.is_input.tolist()
+        is_output = self.is_output.tolist()
+        cached = bytearray(n)
+        dirty = bytearray(n)
+        in_slow = bytearray(self.is_input.tobytes())
+        output_written = bytearray(n)
+        stamp = [0] * n          # last touch (LRU) / insertion time (FIFO)
+        pinned_mark = [-1] * n
+        heap: list[tuple[int, int]] = []
+
+        reads = writes = input_reads = spill_reads = spill_writes = 0
+        output_writes = 0
+        peak = n_cached = evictions = 0
+        t = 0
+
+        def evict_one() -> None:
+            # Lazy-heap victim selection: the top fresh, cached,
+            # unpinned entry is min((stamp, v)) over the candidate set —
+            # exactly the reference policies' scan.  Fresh entries of
+            # pinned vertices are set aside and re-pushed, so they stay
+            # eligible for later evictions.
+            nonlocal writes, spill_writes, output_writes, evictions, n_cached
+            aside = None
+            while True:
+                if not heap:
+                    raise CacheError("no eviction candidate available")
+                tm, u = heap[0]
+                if not cached[u] or stamp[u] != tm:
+                    heappop(heap)       # stale: evicted or re-touched
+                    continue
+                if pinned_mark[u] == t:
+                    if aside is None:
+                        aside = []
+                    aside.append(heappop(heap))
+                    continue
+                break
+            if aside:
+                for entry in aside:
+                    heappush(heap, entry)
+            evictions += 1
+            cached[u] = 0
+            n_cached -= 1
+            if dirty[u]:
+                if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
+                    writes += 1
+                    in_slow[u] = 1
+                    if is_output[u]:
+                        output_writes += 1
+                        output_written[u] = 1
+                    else:
+                        spill_writes += 1
+                dirty[u] = 0
+
+        for t, v in enumerate(sched):
+            start = indptr[t]
+            end = indptr[t + 1]
+            pinned_mark[v] = t
+            for i in range(start, end):
+                pinned_mark[ops[i]] = t
+            # Load missing operands.
+            for i in range(start, end):
+                p = ops[i]
+                if cached[p]:
+                    if refresh_on_use and stamp[p] != t:
+                        stamp[p] = t
+                        heappush(heap, (t, p))
+                else:
+                    if not in_slow[p]:
+                        raise ScheduleError(
+                            f"operand {p} of {v} is neither cached nor "
+                            "in slow memory"
+                        )
+                    while n_cached >= cache_size:
+                        evict_one()
+                    cached[p] = 1
+                    n_cached += 1
+                    stamp[p] = t
+                    heappush(heap, (t, p))
+                    reads += 1
+                    if is_input[p]:
+                        input_reads += 1
+                    else:
+                        spill_reads += 1
+            # Make room for the result and compute.
+            while n_cached >= cache_size:
+                evict_one()
+            if not cached[v]:
+                cached[v] = 1
+                n_cached += 1
+            dirty[v] = 1
+            stamp[v] = t
+            heappush(heap, (t, v))
+            if n_cached > peak:
+                peak = n_cached
+            for i in range(start, end):
+                uses_left[ops[i]] -= 1
+            if io_trace is not None:
+                io_trace.append(reads + writes)
+
+        # Drain: outputs still dirty must reach slow memory.
+        for u in range(n):
+            if dirty[u] and is_output[u] and not output_written[u]:
+                writes += 1
+                output_writes += 1
+                output_written[u] = 1
+
+        return (reads, writes, input_reads, spill_reads, spill_writes,
+                output_writes, peak, evictions)
+
+    def _simulate_belady(self, plan, cache_size, io_trace):
+        n = self.cdag.n_vertices
+        sched = plan._sched_l
+        indptr = plan._indptr_l
+        ops = plan._ops_l
+        occ_next = plan._occ_next_l
+        first_use = plan._first_use_l
+        uses_left = list(plan._uses_l)
+        is_input = self.is_input.tolist()
+        is_output = self.is_output.tolist()
+        cached = bytearray(n)
+        dirty = bytearray(n)
+        in_slow = bytearray(self.is_input.tobytes())
+        output_written = bytearray(n)
+        # Current next-use key per vertex; plan.n_steps is the "never
+        # used again" sentinel (sorts exactly like the reference's +inf:
+        # every real next use is a smaller step index).
+        key = [0] * n
+        pinned_mark = [-1] * n
+        # Max-heap entries (-next_use, v): the top entry is the furthest
+        # next use, ties broken on the smaller vertex id — the reference
+        # BeladyPolicy's order.  Pops are destructive for non-candidate
+        # entries, matching the reference's lazy invalidation exactly.
+        heap: list[tuple[int, int]] = []
+
+        reads = writes = input_reads = spill_reads = spill_writes = 0
+        output_writes = 0
+        peak = n_cached = evictions = 0
+        t = 0
+
+        def evict_one() -> None:
+            nonlocal writes, spill_writes, output_writes, evictions, n_cached
+            u = -1
+            while heap:
+                negn, u = heap[0]
+                if not cached[u] or pinned_mark[u] == t:
+                    heappop(heap)
+                    continue
+                cur = key[u]
+                if -negn != cur:
+                    heappop(heap)       # stale: re-key and retry
+                    heappush(heap, (-cur, u))
+                    continue
+                break
+            else:
+                # Heap exhausted (candidate entries were consumed while
+                # pinned): deterministic fallback, smallest vertex id.
+                u = cached.find(1)
+                while u >= 0 and pinned_mark[u] == t:
+                    u = cached.find(1, u + 1)
+                if u < 0:
+                    raise CacheError("no eviction candidate available")
+            evictions += 1
+            cached[u] = 0
+            n_cached -= 1
+            if dirty[u]:
+                if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
+                    writes += 1
+                    in_slow[u] = 1
+                    if is_output[u]:
+                        output_writes += 1
+                        output_written[u] = 1
+                    else:
+                        spill_writes += 1
+                dirty[u] = 0
+
+        for t, v in enumerate(sched):
+            start = indptr[t]
+            end = indptr[t + 1]
+            pinned_mark[v] = t
+            for i in range(start, end):
+                pinned_mark[ops[i]] = t
+            for i in range(start, end):
+                p = ops[i]
+                if not cached[p]:
+                    if not in_slow[p]:
+                        raise ScheduleError(
+                            f"operand {p} of {v} is neither cached nor "
+                            "in slow memory"
+                        )
+                    while n_cached >= cache_size:
+                        evict_one()
+                    cached[p] = 1
+                    n_cached += 1
+                    reads += 1
+                    if is_input[p]:
+                        input_reads += 1
+                    else:
+                        spill_reads += 1
+            while n_cached >= cache_size:
+                evict_one()
+            if not cached[v]:
+                cached[v] = 1
+                n_cached += 1
+            dirty[v] = 1
+            nxt = first_use[v]
+            key[v] = nxt
+            heappush(heap, (-nxt, v))
+            if n_cached > peak:
+                peak = n_cached
+            # Refresh: exactly one heap entry per operand use, pushed
+            # *after* the compute so it survives this step's evictions
+            # (while pinned, an operand's entries can be destructively
+            # popped — the post-compute push is the one that matters,
+            # and is what the reference's refresh ``on_use`` provides).
+            for i in range(start, end):
+                p = ops[i]
+                nxt = occ_next[i]
+                key[p] = nxt
+                heappush(heap, (-nxt, p))
+                uses_left[p] -= 1
+            if io_trace is not None:
+                io_trace.append(reads + writes)
+
+        for u in range(n):
+            if dirty[u] and is_output[u] and not output_written[u]:
+                writes += 1
+                output_writes += 1
+                output_written[u] = 1
+
+        return (reads, writes, input_reads, spill_reads, spill_writes,
+                output_writes, peak, evictions)
 
 
 def simulate_io(

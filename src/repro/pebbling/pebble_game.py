@@ -174,12 +174,15 @@ def trace_from_executor(
                     evict(game.red - pinned)
                 game.load(p)
                 pol.on_insert(p, t)
-            else:
-                pol.on_use(p, t)
         while len(game.red) >= cache_size:
             evict(game.red - pinned)
         game.compute(v)
         pol.on_insert(v, t)
+        # Each operand use touches the policy exactly once, *after* the
+        # compute: a pre-compute touch could be destructively consumed
+        # by this step's evictions while the operand is pinned (Belady's
+        # lazy heap), so the post-compute touch is the one that defines
+        # the policy's view of the use.
         for p in preds:
             pol.on_use(p, t)
             uses_left[p] -= 1

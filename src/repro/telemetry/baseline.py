@@ -32,6 +32,7 @@ from repro.utils.tables import TextTable
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_PERF_IDS",
+    "DEFAULT_PERF_PARAMS",
     "bench_filename",
     "bench_path",
     "measure_experiment",
@@ -43,8 +44,17 @@ __all__ = [
 
 BENCH_SCHEMA = 1
 
-#: The cheap structural experiments every perf run covers by default.
-DEFAULT_PERF_IDS = ("E1", "E2", "E3")
+#: The cheap structural experiments every perf run covers by default,
+#: plus the executor-bound I/O sweep (E9) at reduced parameters.
+DEFAULT_PERF_IDS = ("E1", "E2", "E3", "E9")
+
+#: Reduced parameters used when measuring an experiment that would be
+#: too slow at its defaults.  ``run_perf`` falls back to these when the
+#: caller does not supply params for an id, so recorded baselines and
+#: CI comparisons agree on the workload.
+DEFAULT_PERF_PARAMS: dict[str, dict] = {
+    "E9": {"r_max": 4, "cache_sizes": (12, 48), "r_big": None},
+}
 
 _EID = re.compile(r"^E(\d+)$")
 
@@ -193,9 +203,8 @@ def run_perf(
 
     currents = {}
     for eid in ids:
-        currents[eid] = measure_experiment(
-            eid, repeats=repeats, params=params_by_id.get(eid)
-        )
+        params = params_by_id.get(eid, DEFAULT_PERF_PARAMS.get(eid))
+        currents[eid] = measure_experiment(eid, repeats=repeats, params=params)
 
     exit_code = 0
     if compare:

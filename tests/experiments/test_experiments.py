@@ -50,7 +50,9 @@ class TestParameterisation:
         assert get_experiment("E4")(k_max=1).all_checks_pass
 
     def test_e9_small(self):
-        assert get_experiment("E9")(r_max=3, cache_sizes=(12, 48)).all_checks_pass
+        assert get_experiment("E9")(
+            r_max=3, cache_sizes=(12, 48), r_big=None
+        ).all_checks_pass
 
     def test_e11_small_n(self):
         assert get_experiment("E11")(n=2**8).all_checks_pass

@@ -1,0 +1,87 @@
+"""Telemetry counter identity for the array-backed executor.
+
+The ``pebbling.run`` span counters (scheduled/reads/writes/evictions/
+spill_reads/spill_writes, plus the ``peak_cache`` value) are part of the
+executor's observable contract: dashboards and perf baselines consume
+them.  The vectorised core must emit exactly the values the reference
+simulator implies — per configuration, and identically through
+``run()`` and ``run_many()``.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.bilinear import strassen
+from repro.cdag import build_cdag
+from repro.pebbling import CacheExecutor
+from repro.schedules import recursive_schedule
+
+from ..pebbling._reference import reference_run
+
+CONFIGS = [(8, "lru"), (8, "belady"), (12, "fifo"), (24, "belady")]
+
+
+@pytest.fixture()
+def workload():
+    g = build_cdag(strassen(), 2)
+    return g, recursive_schedule(g)
+
+
+def _finished(name="pebbling.run"):
+    return [s for s in telemetry.collected_spans() if s["name"] == name]
+
+
+def _expected_counters(g, sched, cache_size, policy):
+    """Counters the reference simulator implies for one configuration."""
+    res, evictions = reference_run(g, sched, cache_size, policy)
+    n_inputs = int((g.in_degree() == 0).sum())
+    return {
+        "scheduled": g.n_vertices - n_inputs,
+        "reads": res.reads,
+        "writes": res.writes,
+        "evictions": evictions,
+        "spill_reads": res.spill_reads,
+        "spill_writes": res.spill_writes,
+        "peak_cache": res.peak_cache,
+    }
+
+
+def test_run_counters_match_reference(workload):
+    g, sched = workload
+    telemetry.enable()
+    ex = CacheExecutor(g)
+    for cache_size, policy in CONFIGS:
+        telemetry.reset()
+        ex.run(sched, cache_size, policy)
+        spans = _finished()
+        assert len(spans) == 1
+        sp = spans[0]
+        assert sp["attrs"] == {"policy": policy, "cache_size": cache_size}
+        assert sp["counters"] == _expected_counters(g, sched, cache_size, policy)
+
+
+def test_run_many_emits_identical_spans(workload):
+    """One span per configuration, counters identical to run()."""
+    g, sched = workload
+    telemetry.enable()
+    ex = CacheExecutor(g)
+
+    telemetry.reset()
+    for cache_size, policy in CONFIGS:
+        ex.run(sched, cache_size, policy)
+    one_by_one = [
+        (s["attrs"]["cache_size"], s["attrs"]["policy"], s["counters"])
+        for s in _finished()
+    ]
+
+    telemetry.reset()
+    results = ex.run_many(
+        sched, sorted({M for M, _ in CONFIGS}), ("lru", "fifo", "belady")
+    )
+    batched = {
+        (s["attrs"]["cache_size"], s["attrs"]["policy"]): s["counters"]
+        for s in _finished()
+    }
+    assert len(batched) == len(results)
+    for M, policy, counters in one_by_one:
+        assert batched[(M, policy)] == counters
