@@ -1,0 +1,57 @@
+"""Deterministic fault injection for the sweep runner.
+
+The runner (:mod:`repro.runner`) claims a fault model — retries,
+timeouts, crash quarantine, atomic artifacts, resumable sweeps.  This
+package *exercises* that claim: a seeded :class:`FaultPlan` maps every
+injection point to a reproducible fault decision, a
+:func:`monkey` context installs those decisions into hook points
+threaded through the pool, store and event log (no-ops when no monkey
+is installed), and :func:`run_chaos_sweep` drives a sweep through the
+resulting failures — including simulated mid-sweep SIGKILLs — until it
+terminates, then verifies the store healed.
+
+Quick start::
+
+    from repro.chaos import FaultPlan, monkey, run_chaos_sweep
+
+    plan = FaultPlan(seed=7)
+    report = run_chaos_sweep(specs, store, plan,
+                             events_path="events.jsonl",
+                             workers=2, retries=2, timeout=10.0,
+                             heartbeat=0.5)
+    assert report.all_terminal
+
+or from the command line: ``python -m repro sweep E1 E2 --chaos 7``.
+
+Telemetry counters: ``chaos.injected[.site]`` (what the monkey did),
+``chaos.detected[.what]`` (corruption the hardened runner noticed —
+checksum mismatches, torn journal tails, orphaned temps) and
+``chaos.recovered[.what]`` (quarantines, journal truncations, orphan
+GC, sweep resumes).  Detection counters fire on *real* corruption too,
+not only injected faults.
+"""
+
+from repro.chaos.faults import (
+    ChaosInjectedError,
+    SweepKilled,
+    apply_store_fault,
+    apply_worker_fault,
+)
+from repro.chaos.monkey import ChaosMonkey, monkey
+from repro.chaos.plan import EVENT_KINDS, STORE_KINDS, WORKER_KINDS, FaultPlan
+from repro.chaos.soak import ChaosSweepReport, run_chaos_sweep
+
+__all__ = [
+    "FaultPlan",
+    "WORKER_KINDS",
+    "STORE_KINDS",
+    "EVENT_KINDS",
+    "ChaosMonkey",
+    "monkey",
+    "ChaosInjectedError",
+    "SweepKilled",
+    "apply_worker_fault",
+    "apply_store_fault",
+    "ChaosSweepReport",
+    "run_chaos_sweep",
+]

@@ -1,0 +1,29 @@
+"""Injection-hook registry threaded through the runner stack.
+
+This module is deliberately dependency-free: :mod:`repro.runner.pool`,
+:mod:`repro.runner.store` and :mod:`repro.runner.events` import it at
+module load and consult :data:`active` at their hook points.  The
+default is ``None``, so the hot path pays one global load and a
+``None`` check — no chaos code is imported or executed unless a
+:func:`repro.chaos.monkey` context has installed a monkey.
+"""
+
+from __future__ import annotations
+
+__all__ = ["active", "install", "uninstall"]
+
+#: The currently installed :class:`repro.chaos.monkey.ChaosMonkey`,
+#: or ``None`` (the default — all hook points are no-ops).
+active = None
+
+
+def install(mk) -> None:
+    """Install ``mk`` as the process-wide chaos monkey; returns via
+    :func:`uninstall`.  Only one monkey is active at a time."""
+    global active
+    active = mk
+
+
+def uninstall() -> None:
+    global active
+    active = None

@@ -1,0 +1,114 @@
+"""Resilient chaos sweeps: run, die, recover, resume, verify.
+
+:func:`run_chaos_sweep` is the executable statement of the soak
+invariant: under *any* fault plan, the sweep terminates with every job
+in a terminal state, and a fault-free verification pass against the
+same store heals whatever the faults corrupted, leaving artifacts
+byte-identical to a fault-free run.
+
+The loop mirrors what an operator (or ``--resume``) would do after a
+real SIGKILL: recover the torn journal tail, garbage-collect orphaned
+temp files, and re-launch the identical sweep — completed jobs are
+served from the store, corrupted artifacts are detected by checksum,
+quarantined, and recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.chaos.faults import SweepKilled
+from repro.chaos.monkey import ChaosMonkey, monkey
+from repro.chaos.plan import FaultPlan
+
+__all__ = ["ChaosSweepReport", "run_chaos_sweep"]
+
+#: Terminal job statuses the soak invariant admits.
+TERMINAL_STATUSES = frozenset({"ok", "cached", "failed"})
+
+
+@dataclass
+class ChaosSweepReport:
+    """Everything a soak assertion needs about one chaos run."""
+
+    #: Outcomes of the final pass (fault-free verification pass when
+    #: ``verify=True``, else the terminal chaos pass).
+    outcomes: list = field(default_factory=list)
+    #: Outcomes of the last chaos (faults-armed) pass.
+    chaos_outcomes: list = field(default_factory=list)
+    #: Sweep launches needed, including restarts after simulated kills.
+    rounds: int = 0
+    #: Journal recoveries performed ({"dropped_bytes", "bad_lines"} sums).
+    recoveries: dict = field(default_factory=dict)
+    #: The monkey's injection report (:meth:`ChaosMonkey.report`).
+    chaos: dict = field(default_factory=dict)
+
+    @property
+    def all_terminal(self) -> bool:
+        return all(o.status in TERMINAL_STATUSES for o in self.chaos_outcomes)
+
+
+def run_chaos_sweep(
+    specs: Sequence,
+    store,
+    plan: FaultPlan | ChaosMonkey,
+    *,
+    events_path: str | Path | None = None,
+    max_restarts: int = 8,
+    verify: bool = True,
+    **run_kw,
+) -> ChaosSweepReport:
+    """Run ``specs`` under an armed chaos monkey until the sweep
+    terminates, restarting after every simulated SIGKILL.
+
+    ``run_kw`` is forwarded to :func:`repro.runner.pool.run_sweep`
+    (workers, timeout, heartbeat, retries, ...).  With ``verify=True``
+    a final fault-free pass re-runs the sweep against the same store,
+    so checksum-quarantined artifacts are recomputed and
+    ``report.outcomes`` reflects a healed cache.
+    """
+    from repro import telemetry
+    from repro.runner.events import EventLog
+    from repro.runner.pool import run_sweep
+
+    mk = plan if isinstance(plan, ChaosMonkey) else ChaosMonkey(plan)
+    report = ChaosSweepReport(chaos={}, recoveries={"dropped_bytes": 0, "bad_lines": 0})
+    run_kw.setdefault("progress", False)
+
+    def _one_pass() -> list:
+        if events_path is not None:
+            recovery = EventLog.recover(events_path)
+            report.recoveries["dropped_bytes"] += recovery.get("dropped_bytes", 0)
+            report.recoveries["bad_lines"] += recovery.get("bad_lines", 0)
+        events = EventLog(events_path) if events_path is not None else EventLog()
+        try:
+            return run_sweep(specs, store, events=events, **run_kw)
+        finally:
+            events.close()
+
+    with monkey(mk):
+        while True:
+            report.rounds += 1
+            if report.rounds > max_restarts:
+                raise RuntimeError(
+                    f"chaos sweep did not terminate within {max_restarts} "
+                    f"restarts (seed {mk.plan.seed})"
+                )
+            try:
+                report.chaos_outcomes = _one_pass()
+            except SweepKilled:
+                telemetry.metrics().inc("chaos.recovered")
+                telemetry.metrics().inc("chaos.recovered.resumed")
+                continue
+            break
+        mk.disarm()
+        report.outcomes = report.chaos_outcomes
+        if verify:
+            # Fault-free pass with the monkey disarmed: cache hits for
+            # intact artifacts, checksum-quarantine + recompute for
+            # corrupted ones.
+            report.outcomes = _one_pass()
+    report.chaos = mk.report()
+    return report

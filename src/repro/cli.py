@@ -9,7 +9,11 @@ Subcommands:
 - ``caps``                  — simulate parallel bandwidth for (n, P, M);
 - ``experiments``           — run the reproduction experiments;
 - ``sweep``                 — parallel experiment sweep with an on-disk
-  result cache, per-job timeouts, retries, and a JSONL event log;
+  result cache, per-job timeouts, retries, and a JSONL event log; the
+  log doubles as a crash journal (``--resume`` replays it after an
+  unclean death), ``--heartbeat``/``--deadline`` harden long sweeps,
+  and ``--chaos SEED`` soaks the whole pipeline under a deterministic
+  fault plan (see :mod:`repro.chaos`);
 - ``perf``                  — record or compare ``BENCH_<exp>.json``
   perf baselines (``--compare`` exits nonzero on regression);
 - ``render``                — DOT/ASCII rendering of a base graph.
@@ -160,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job wall-clock limit (default: none)",
     )
     p_sweep.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="worker heartbeat interval; with --timeout set, only jobs "
+             "with a stale heartbeat are killed (hung, not merely slow)",
+    )
+    p_sweep.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="sweep-level wall-clock limit; past it, unfinished jobs "
+             "are failed and a complete report is still written",
+    )
+    p_sweep.add_argument(
         "--retries", type=int, default=1, metavar="K",
         help="failed attempts each job may absorb beyond the first "
              "(default 1)",
@@ -185,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--quiet", action="store_true",
         help="print only the summary, not each experiment report",
+    )
+    p_sweep.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="soak mode: run the sweep under the deterministic fault "
+             "plan seeded by SEED (injects worker crashes, corrupted "
+             "artifacts, torn logs, simulated kills), restart until it "
+             "terminates, then verify the store healed",
     )
     _add_profile_flags(p_sweep)
 
@@ -397,6 +418,7 @@ def _cmd_sweep(args) -> int:
         expand_grid,
         experiment_accepts_seed,
         render_sweep,
+        replay_journal,
         run_sweep,
         sweep_ok,
     )
@@ -411,15 +433,60 @@ def _cmd_sweep(args) -> int:
         fan = seeds if (seeds and experiment_accepts_seed(eid)) else None
         specs.extend(expand_grid(eid, grids.get(eid), seeds=fan))
 
-    profiled = _begin_profile(args)
     store = ResultStore(args.cache_dir)
     events_path = args.events or str(Path(args.cache_dir) / "events.jsonl")
+
+    if args.chaos is not None:
+        from repro.chaos import FaultPlan, run_chaos_sweep
+
+        report = run_chaos_sweep(
+            specs,
+            store,
+            FaultPlan(seed=args.chaos),
+            events_path=events_path,
+            workers=args.jobs,
+            timeout=args.timeout,
+            heartbeat=args.heartbeat,
+            deadline=args.deadline,
+            retries=args.retries,
+            backoff=args.backoff,
+            fresh=args.fresh,
+        )
+        print(render_sweep(report.outcomes, show_results=not args.quiet))
+        chaos = report.chaos
+        print(
+            f"chaos: seed={chaos.get('seed')} "
+            f"injected={chaos.get('injected_total', 0)} "
+            f"kills={chaos.get('kills', 0)} rounds={report.rounds} "
+            f"journal: dropped {report.recoveries.get('dropped_bytes', 0)}B, "
+            f"{report.recoveries.get('bad_lines', 0)} bad lines"
+        )
+        print(f"cache: {args.cache_dir}  events: {events_path}")
+        return 0 if report.all_terminal else 1
+
+    # Resuming: heal and replay the journal a killed sweep left behind,
+    # so the resumed run starts from a well-formed log and reports what
+    # the previous run already finished.
+    replay = None
+    if not args.fresh and Path(events_path).exists():
+        replay = replay_journal(events_path)
+
+    profiled = _begin_profile(args)
     with EventLog(events_path) as events:
+        if replay is not None and (replay["complete"] or replay["failed"]):
+            events.emit(
+                "sweep_resume",
+                jobs=len(specs),
+                complete=len(replay["complete"]),
+                failed=len(replay["failed"]),
+            )
         outcomes = run_sweep(
             specs,
             store,
             workers=args.jobs,
             timeout=args.timeout,
+            heartbeat=args.heartbeat,
+            deadline=args.deadline,
             retries=args.retries,
             backoff=args.backoff,
             fresh=args.fresh,

@@ -34,7 +34,13 @@ Quick start::
 or from the command line: ``python -m repro sweep --jobs 4``.
 """
 
-from repro.runner.events import EventLog, ProgressLine, read_events, validate_event
+from repro.runner.events import (
+    EventLog,
+    ProgressLine,
+    read_events,
+    replay_journal,
+    validate_event,
+)
 from repro.runner.jobs import (
     JobSpec,
     expand_grid,
@@ -44,6 +50,7 @@ from repro.runner.jobs import (
 )
 from repro.runner.pool import Attempt, JobOutcome, run_sweep
 from repro.runner.report import (
+    fault_summary,
     merged_cache_stats,
     render_sweep,
     sweep_ok,
@@ -51,6 +58,7 @@ from repro.runner.report import (
 )
 from repro.runner.store import (
     ResultStore,
+    payload_checksum,
     payload_to_result,
     result_to_payload,
 )
@@ -64,15 +72,18 @@ __all__ = [
     "ResultStore",
     "result_to_payload",
     "payload_to_result",
+    "payload_checksum",
     "EventLog",
     "ProgressLine",
     "read_events",
+    "replay_journal",
     "validate_event",
     "Attempt",
     "JobOutcome",
     "run_sweep",
     "sweep_summary",
     "sweep_ok",
+    "fault_summary",
     "render_sweep",
     "merged_cache_stats",
 ]

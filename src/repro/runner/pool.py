@@ -6,51 +6,87 @@ Fault model:
 
 - **cache hits** — specs whose artifact is already in the store are
   answered without touching the pool (skipped with ``fresh=True``);
+  orphaned ``.tmp-*`` files from a killed writer are garbage-collected
+  before the cache pass;
 - **ordinary exceptions** raised by a job are charged as failed
-  attempts and retried with exponential backoff up to ``retries``
-  times; the final failure keeps the full retry history;
+  attempts and retried with exponentially-growing, fully-jittered
+  backoff up to ``retries`` times; the final failure keeps the full
+  retry history.  Jitter is drawn from a PRF over the job key, so a
+  re-run of the same sweep replays the same delays;
 - **per-job timeouts** — a job running past ``timeout`` seconds has
   its worker killed and is charged a ``timeout`` attempt; innocent
-  jobs sharing the pool are resubmitted without charge;
+  jobs sharing the pool are resubmitted without charge.  With
+  ``heartbeat`` set, workers touch a per-job heartbeat file from a
+  daemon thread and the watchdog kills only *hung* workers (stale
+  heartbeat past the timeout) — a slow-but-alive job keeps running;
 - **worker crashes** (segfault, ``os._exit``, OOM-kill) break the
   whole executor, and the stdlib cannot say *which* in-flight job
   crashed.  The scheduler rebuilds the pool and re-runs every suspect
   in **quarantine** (solo, one at a time), where a repeat crash is
   attributable with certainty.  Deterministic crashers therefore
   exhaust their retries and are recorded as failed, while innocent
-  bystanders complete — the sweep always runs to the end.
+  bystanders complete — the sweep always runs to the end;
+- **sweep deadline** — past ``deadline`` seconds the scheduler stops
+  the pool, fails every unfinished job with a ``deadline`` attempt,
+  and still emits a complete report: every job reaches a terminal
+  state no matter how the sweep was cut short.
 
 Workers execute :func:`_execute_job` — a module-level function so it
 pickles by reference — which resolves the experiment registry (or an
 explicit entrypoint), threads explicit seeds, and serialises the
-result before it crosses the process boundary.
+result before it crosses the process boundary.  When a chaos monkey is
+installed (:mod:`repro.chaos`), the scheduler embeds the fault decision
+for each submission in the job doc and the worker applies it; with no
+monkey installed every hook point is a single ``None`` check.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 from repro import telemetry
+from repro.chaos import hooks as _chaos_hooks
 from repro.runner.events import EventLog, ProgressLine
 from repro.runner.jobs import JobSpec, accepts_seed, resolve_entrypoint
 from repro.runner.store import ResultStore, result_to_payload
+from repro.utils.prf import prf01
 
 __all__ = ["Attempt", "JobOutcome", "run_sweep"]
 
 #: Attempt kinds that are *charged* against the retry budget (the
 #: job itself was at fault).  ``pool-lost`` marks collateral damage —
 #: the job was in flight when another job killed the pool — and is
-#: recorded but never charged.
+#: recorded but never charged; ``deadline`` marks jobs cut off by the
+#: sweep-level deadline (terminal, uncharged).
 CHARGED_KINDS = frozenset({"error", "crash", "timeout"})
 
 _WAIT_TICK = 0.05  # scheduler poll interval, seconds
 _MAX_BACKOFF = 30.0
+#: A heartbeat is "stale" after this many missed intervals (with a
+#: floor covering filesystem mtime granularity and thread jitter).
+_STALE_INTERVALS = 3.0
+_STALE_FLOOR = 0.25
+
+
+def _retry_delay(key: str, charged_failures: int, backoff: float, jitter: bool) -> float:
+    """Backoff before re-submitting a failed job: exponential cap with
+    *full jitter* (uniform in ``[0, cap)``), drawn deterministically
+    from the job key and attempt number so identical sweeps replay
+    identical delays."""
+    cap = min(backoff * (2 ** (charged_failures - 1)), _MAX_BACKOFF)
+    if not jitter:
+        return cap
+    return cap * prf01("backoff", key, charged_failures)
 
 
 @dataclass
@@ -58,7 +94,7 @@ class Attempt:
     """One execution attempt of a job."""
 
     index: int
-    kind: str  # "ok" | "error" | "crash" | "timeout" | "pool-lost"
+    kind: str  # "ok" | "error" | "crash" | "timeout" | "pool-lost" | "deadline"
     error: str | None = None
     duration: float | None = None
     worker: int | None = None
@@ -130,6 +166,18 @@ class _JobState:
         }
 
 
+def _beat(path: str, interval: float, stop: threading.Event) -> None:
+    """Worker-side heartbeat: touch ``path`` every ``interval`` seconds
+    until the job body finishes (daemon thread; dies with the worker,
+    which is exactly the signal the watchdog wants)."""
+    target = Path(path)
+    while not stop.wait(interval):
+        try:
+            target.touch()
+        except OSError:
+            return
+
+
 def _execute_job(job_doc: dict) -> dict:
     """Worker-side job body (module-level: pickled by reference)."""
     t0 = time.perf_counter()
@@ -139,6 +187,18 @@ def _execute_job(job_doc: dict) -> dict:
         seed=job_doc.get("seed"),
         entrypoint=job_doc.get("entrypoint"),
     )
+    chaos_doc = job_doc.get("chaos")
+    hb_stop = None
+    hb_path = job_doc.get("heartbeat")
+    if hb_path is not None and not (chaos_doc and chaos_doc.get("kind") == "hang"):
+        # A chaos "hang" must look like a *true* hang — no heartbeat —
+        # so the watchdog, not luck, is what reaps it.
+        hb_stop = threading.Event()
+        threading.Thread(
+            target=_beat,
+            args=(hb_path, float(job_doc.get("heartbeat_interval", 1.0)), hb_stop),
+            daemon=True,
+        ).start()
     profile = bool(job_doc.get("telemetry"))
     job_span = None
     if profile:
@@ -156,6 +216,10 @@ def _execute_job(job_doc: dict) -> dict:
         )
         job_span.__enter__()
     try:
+        if chaos_doc:
+            from repro.chaos.faults import apply_worker_fault
+
+            apply_worker_fault(chaos_doc)  # only "slow" returns
         fn = resolve_entrypoint(spec)
         kwargs = dict(spec.params)
         if spec.seed is not None:
@@ -169,6 +233,8 @@ def _execute_job(job_doc: dict) -> dict:
     finally:
         if job_span is not None:
             job_span.__exit__(None, None, None)
+        if hb_stop is not None:
+            hb_stop.set()
     # Local import keeps worker startup lazy on the common path.
     from repro.experiments.harness import ExperimentResult
 
@@ -212,8 +278,11 @@ def run_sweep(
     *,
     workers: int = 2,
     timeout: float | None = None,
+    heartbeat: float | None = None,
+    deadline: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
+    jitter: bool = True,
     fresh: bool = False,
     events: EventLog | None = None,
     progress: ProgressLine | bool | None = None,
@@ -231,12 +300,23 @@ def run_sweep(
         Pool size (at least 1).
     timeout:
         Per-job wall-clock limit in seconds; ``None`` disables.
+    heartbeat:
+        Worker heartbeat interval in seconds; ``None`` disables.  When
+        set together with ``timeout``, the watchdog kills an overdue
+        job only if its heartbeat file is also stale (a true hang) —
+        slow-but-alive jobs keep running until the sweep ``deadline``.
+    deadline:
+        Sweep-level wall-clock limit.  When exceeded, unfinished jobs
+        are failed with a ``deadline`` attempt and the sweep returns a
+        complete report (every job terminal).
     retries:
         How many *charged* failures (error / crash / timeout) each job
         may absorb beyond its first; ``retries=2`` allows 3 attempts.
     backoff:
-        Base delay before a retried job is resubmitted; doubles per
-        charged failure, capped at 30 s.
+        Base delay before a retried job is resubmitted; the cap doubles
+        per charged failure (max 30 s) and the actual delay is drawn
+        uniformly from ``[0, cap)`` (full jitter), deterministically
+        per job key.  ``jitter=False`` sleeps the full cap.
     fresh:
         Recompute every job, overwriting cached artifacts.
     events:
@@ -271,7 +351,20 @@ def run_sweep(
             st.job_doc["telemetry"] = True
             st.job_doc["parent_span"] = sweep_span.span_id
 
+    hb_dir: Path | None = None
+    if heartbeat is not None:
+        hb_dir = Path(tempfile.mkdtemp(prefix="repro-hb-"))
+    stale_after = (
+        max(_STALE_INTERVALS * heartbeat, _STALE_FLOOR)
+        if heartbeat is not None
+        else None
+    )
+
     t_sweep = time.monotonic()
+    if store is not None:
+        orphans = store.gc_orphans()
+        if orphans:
+            events.emit("store_gc", orphans=len(orphans))
     events.emit("sweep_start", jobs=len(states), workers=workers)
 
     if progress is False:
@@ -317,8 +410,19 @@ def run_sweep(
         executor.shutdown(wait=False, cancel_futures=True)
         executor = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
 
+    def _hb_path(st: _JobState) -> Path:
+        return hb_dir / f"{st.key}.hb"
+
     def _submit(st: _JobState):
         st.started_at = time.monotonic()
+        if hb_dir is not None:
+            hb_file = _hb_path(st)
+            hb_file.touch()  # covers the spawn gap before the first beat
+            st.job_doc["heartbeat"] = str(hb_file)
+            st.job_doc["heartbeat_interval"] = heartbeat
+        mk = _chaos_hooks.active
+        if mk is not None:
+            mk.prepare_job(st.job_doc, st.key, st.charged_failures + 1)
         try:
             fut = executor.submit(_execute_job, st.job_doc)
         except BrokenProcessPool:
@@ -396,7 +500,7 @@ def run_sweep(
         if st.charged_failures > retries:
             _fail(st, reason)
             return
-        delay = min(backoff * (2 ** (st.charged_failures - 1)), _MAX_BACKOFF)
+        delay = _retry_delay(st.key, st.charged_failures, backoff, jitter)
         st.ready_at = time.monotonic() + delay
         if kind == "crash":
             st.quarantined = True
@@ -454,10 +558,33 @@ def run_sweep(
                 to_quarantine=True,
             )
 
+    def _enforce_deadline() -> bool:
+        """Past the sweep deadline: stop the pool, fail everything
+        unfinished with a terminal ``deadline`` attempt."""
+        cancelled = len(in_flight) + len(pending) + len(quarantine)
+        events.emit("sweep_deadline", cancelled=cancelled)
+        cut = list(in_flight.values()) + list(pending) + list(quarantine)
+        in_flight.clear()
+        pending.clear()
+        quarantine.clear()
+        _rebuild_pool()  # terminates any still-running workers
+        for st in cut:
+            st.attempts.append(
+                Attempt(
+                    len(st.attempts) + 1, "deadline",
+                    error=f"sweep deadline of {deadline:g}s exceeded",
+                )
+            )
+            _fail(st, f"sweep deadline of {deadline:g}s exceeded")
+        return True
+
     _progress()
     try:
         while pending or quarantine or in_flight:
             now = time.monotonic()
+            if deadline is not None and now - t_sweep > deadline:
+                _enforce_deadline()
+                break
 
             # Quarantined suspects run strictly solo so a repeat crash
             # is attributable; normal submission resumes afterwards.
@@ -506,28 +633,39 @@ def run_sweep(
                 _progress()
                 continue
 
-            # Per-job deadline: kill the pool (only way to stop a
+            # Per-job watchdog: kill the pool (only way to stop a
             # running worker), charge the overdue job, respawn the rest.
+            # With heartbeats on, only *stale* workers count as hung.
             if timeout is not None:
                 now = time.monotonic()
-                overdue = [
-                    (fut, st)
-                    for fut, st in in_flight.items()
-                    if st.started_at is not None
-                    and now - st.started_at > timeout
-                ]
+                overdue: list[tuple] = []
+                for fut, st in in_flight.items():
+                    if st.started_at is None or now - st.started_at <= timeout:
+                        continue
+                    if stale_after is not None:
+                        try:
+                            age = time.time() - _hb_path(st).stat().st_mtime
+                        except OSError:
+                            age = float("inf")
+                        if age <= stale_after:
+                            continue  # slow but alive: spare it
+                        reason = (
+                            f"heartbeat stale for {age:.2f}s past the "
+                            f"{timeout:g}s timeout (presumed hung)"
+                        )
+                    else:
+                        reason = f"exceeded per-job timeout of {timeout:g}s"
+                    overdue.append((fut, st, reason))
                 if overdue:
+                    overdue_futs = {f for f, _, _ in overdue}
                     survivors = [
                         st for fut, st in in_flight.items()
-                        if fut not in {f for f, _ in overdue}
+                        if fut not in overdue_futs
                     ]
                     in_flight.clear()
                     _rebuild_pool()
-                    for _, st in overdue:
-                        _charge(
-                            st, "timeout",
-                            f"exceeded per-job timeout of {timeout:g}s",
-                        )
+                    for _, st, reason in overdue:
+                        _charge(st, "timeout", reason)
                     for st in survivors:
                         _mark_pool_lost(
                             st,
@@ -539,6 +677,8 @@ def run_sweep(
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
         progress.finish()
+        if hb_dir is not None:
+            shutil.rmtree(hb_dir, ignore_errors=True)
 
     ordered = [outcomes[i] for i in range(len(states))]
     n_ok = sum(1 for o in ordered if o.status == "ok")

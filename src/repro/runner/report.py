@@ -23,6 +23,7 @@ __all__ = [
     "results_of",
     "sweep_summary",
     "sweep_ok",
+    "fault_summary",
     "merged_cache_stats",
     "cache_stats_table",
     "render_sweep",
@@ -70,6 +71,33 @@ def sweep_ok(outcomes: Sequence[JobOutcome]) -> bool:
         if not all(verdicts.values()):
             return False
     return True
+
+
+def fault_summary(outcomes: Sequence[JobOutcome]) -> TextTable | None:
+    """Attempt-kind accounting for sweeps that saw failures.
+
+    One row per job that needed more than a single clean attempt:
+    how many error / crash / timeout / pool-lost / deadline attempts it
+    absorbed and how it ended.  Returns None for a fault-free sweep so
+    reports stay quiet on the happy path.
+    """
+    kinds = ["error", "crash", "timeout", "pool-lost", "deadline"]
+    rows = []
+    for o in outcomes:
+        tallies = {k: 0 for k in kinds}
+        for a in o.attempts:
+            if a.kind in tallies:
+                tallies[a.kind] += 1
+        if any(tallies.values()):
+            rows.append([o.spec.label] + [tallies[k] for k in kinds] + [o.status])
+    if not rows:
+        return None
+    table = TextTable(
+        ["job"] + kinds + ["final"], title="Fault summary (non-clean attempts)"
+    )
+    for row in rows:
+        table.add_row(row)
+    return table
 
 
 def merged_cache_stats(outcomes: Iterable[JobOutcome]) -> dict[str, CacheStats]:
@@ -129,6 +157,10 @@ def render_sweep(
             lines.append(payload_to_result(o.payload).render())
             lines.append("")
     lines.append(sweep_summary(outcomes).render())
+    faults = fault_summary(outcomes)
+    if faults is not None:
+        lines.append("")
+        lines.append(faults.render())
     merged = merged_cache_stats(outcomes)
     if merged:
         lines.append("")

@@ -13,17 +13,34 @@ that produced it.  Properties the sweep machinery relies on:
   truncated artifact and ``--resume`` can trust whatever it finds;
 - **self-describing** — each artifact embeds its key, params, seed and
   package version; a corrupt or mismatched file reads as a cache miss,
-  never an error.
+  never an error;
+- **checksummed** — the artifact carries the SHA-256 of its canonical
+  result payload; :meth:`ResultStore.get` verifies it and treats any
+  mismatch (bit rot, torn writes that survived ``os.replace``, manual
+  edits) as a miss, moving the bad file to ``<root>/corrupt/`` for
+  post-mortem instead of silently re-serving it;
+- **strict JSON** — serialised with ``allow_nan=False``; non-finite
+  floats are reduced to the sentinel strings ``"NaN"`` /
+  ``"Infinity"`` / ``"-Infinity"`` first, so artifacts stay valid for
+  strict parsers instead of round-tripping only within Python.
+
+``<root>/corrupt/`` is reserved for quarantined files and dot-prefixed
+``.tmp-*`` files are in-flight writes; neither is counted or yielded by
+the artifact iteration API, and :meth:`gc_orphans` removes temp files a
+killed process left behind.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 import os
 import tempfile
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from repro.chaos import hooks as _chaos_hooks
 from repro.experiments.harness import ExperimentResult
 from repro.runner.jobs import JobSpec, canonical_params
 from repro.utils.tables import TextTable
@@ -31,19 +48,31 @@ from repro.utils.tables import TextTable
 __all__ = [
     "SCHEMA_VERSION",
     "ResultStore",
+    "payload_checksum",
     "result_to_payload",
     "payload_to_result",
 ]
 
 #: Bump when the artifact layout changes; old artifacts then read as
-#: cache misses rather than decoding errors.
-SCHEMA_VERSION = 1
+#: cache misses rather than decoding errors.  2: added the ``sha256``
+#: payload checksum and non-finite float sentinels.
+SCHEMA_VERSION = 2
+
+#: Directory (under the store root) holding quarantined artifacts.
+QUARANTINE_DIR = "corrupt"
 
 
 def _jsonify(value):
     """Best-effort reduction of result payloads to JSON-native types
-    (numpy scalars -> Python scalars, tuples -> lists, keys -> str)."""
-    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+    (numpy scalars -> Python scalars, tuples -> lists, keys -> str,
+    non-finite floats -> sentinel strings)."""
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
         return value
     if isinstance(value, Mapping):
         return {str(k): _jsonify(v) for k, v in value.items()}
@@ -55,6 +84,19 @@ def _jsonify(value):
     if hasattr(value, "tolist"):
         return _jsonify(value.tolist())
     return repr(value)
+
+
+def payload_checksum(result_payload) -> str:
+    """SHA-256 over the canonical JSON form of a result payload.
+
+    Computed over the same bytes regardless of how the artifact is
+    formatted on disk, so it survives re-indenting but catches any
+    change to the payload's *content*.
+    """
+    blob = json.dumps(
+        result_payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def result_to_payload(result: ExperimentResult) -> dict:
@@ -91,6 +133,23 @@ def payload_to_result(payload: Mapping) -> ExperimentResult:
     )
 
 
+def _count_detection(what: str) -> None:
+    """Bump the corruption-detection / recovery telemetry counters."""
+    from repro import telemetry
+
+    registry = telemetry.metrics()
+    registry.inc("chaos.detected")
+    registry.inc(f"chaos.detected.{what}")
+
+
+def _count_recovery(what: str) -> None:
+    from repro import telemetry
+
+    registry = telemetry.metrics()
+    registry.inc("chaos.recovered")
+    registry.inc(f"chaos.recovered.{what}")
+
+
 class ResultStore:
     """Content-addressed JSON artifact store rooted at ``root``."""
 
@@ -101,17 +160,30 @@ class ResultStore:
     def path_for(self, spec: JobSpec) -> Path:
         return self.root / spec.experiment_id / f"{spec.cache_key}.json"
 
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
     def has(self, spec: JobSpec) -> bool:
         return self.path_for(spec).is_file()
 
     def get(self, spec: JobSpec) -> dict | None:
         """The stored artifact for ``spec``, or None (a miss) when the
-        artifact is absent, unreadable, or keyed differently."""
+        artifact is absent, unreadable, keyed differently, or fails
+        checksum verification (the corrupt file is quarantined)."""
         path = self.path_for(spec)
         try:
             with path.open("r", encoding="utf-8") as fh:
-                artifact = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+                raw = fh.read()
+        except OSError:
+            return None
+        try:
+            artifact = json.loads(raw)
+        except json.JSONDecodeError:
+            # A *complete-but-undecodable* file is corruption, not a
+            # plain miss: quarantine it so it is never re-read and the
+            # evidence survives for post-mortem.
+            self.quarantine(path, "undecodable")
             return None
         if (
             not isinstance(artifact, dict)
@@ -119,23 +191,51 @@ class ResultStore:
             or artifact.get("key") != spec.cache_key
         ):
             return None
+        if artifact.get("sha256") != payload_checksum(artifact.get("result")):
+            self.quarantine(path, "checksum")
+            return None
         return artifact
+
+    def quarantine(self, path: Path, reason: str) -> Path | None:
+        """Move a corrupt artifact under ``<root>/corrupt/`` (never
+        raises; falls back to deletion, then to leaving it in place).
+        Returns the quarantined path, or None if the move failed."""
+        dest = None
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            dest = self.quarantine_root / path.name
+            n = 0
+            while dest.exists():
+                n += 1
+                dest = self.quarantine_root / f"{path.stem}.{n}{path.suffix}"
+            os.replace(path, dest)
+        except OSError:
+            dest = None
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        _count_detection(reason)
+        _count_recovery("quarantined")
+        return dest
 
     def put(self, spec: JobSpec, result_payload: Mapping) -> Path:
         """Atomically write the artifact for ``spec``; returns its path."""
         from repro._version import __version__
 
+        result = _jsonify(result_payload)
         artifact = {
             "schema": SCHEMA_VERSION,
             "key": spec.cache_key,
             "experiment_id": spec.experiment_id,
-            "params": canonical_params(spec.params),
+            "params": _jsonify(canonical_params(spec.params)),
             "seed": spec.seed,
             "entrypoint": spec.entrypoint,
             "version": __version__,
-            "result": _jsonify(result_payload),
+            "sha256": payload_checksum(result),
+            "result": result,
         }
-        blob = json.dumps(artifact, sort_keys=True, indent=2) + "\n"
+        blob = json.dumps(artifact, sort_keys=True, indent=2, allow_nan=False) + "\n"
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -151,6 +251,9 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        mk = _chaos_hooks.active
+        if mk is not None:
+            mk.corrupt_artifact(path, spec.cache_key)
         return path
 
     def discard(self, spec: JobSpec) -> bool:
@@ -161,9 +264,17 @@ class ResultStore:
         except OSError:
             return False
 
+    def _artifact_paths(self) -> Iterator[Path]:
+        """Paths of real artifacts: skips in-flight/orphaned ``.tmp-*``
+        files and the quarantine directory."""
+        for path in sorted(self.root.glob("*/*.json")):
+            if path.parent.name == QUARANTINE_DIR or path.name.startswith("."):
+                continue
+            yield path
+
     def iter_artifacts(self) -> Iterator[dict]:
         """Yield every decodable artifact under the root."""
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in self._artifact_paths():
             try:
                 with path.open("r", encoding="utf-8") as fh:
                     artifact = json.load(fh)
@@ -173,12 +284,32 @@ class ResultStore:
                 yield artifact
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._artifact_paths())
+
+    def gc_orphans(self) -> list[Path]:
+        """Remove ``.tmp-*.json`` files a killed process left behind.
+
+        Atomic writes go through a same-directory temp file; a SIGKILL
+        between ``mkstemp`` and ``os.replace`` orphans it.  Run at
+        sweep startup (no writer is active then); returns the removed
+        paths.
+        """
+        removed = []
+        for path in sorted(self.root.glob("*/.tmp-*.json")):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed.append(path)
+        if removed:
+            _count_detection("orphan_tmp")
+            _count_recovery("orphans_removed")
+        return removed
 
     def clear(self) -> int:
         """Delete all artifacts; returns how many were removed."""
         n = 0
-        for path in self.root.glob("*/*.json"):
+        for path in list(self._artifact_paths()):
             try:
                 path.unlink()
                 n += 1

@@ -1,0 +1,35 @@
+"""Deterministic pseudo-random functions for reproducible scheduling.
+
+Shared by the retry-backoff jitter in :mod:`repro.runner.pool` and the
+fault schedule in :mod:`repro.chaos.plan`.  A PRF (hash of the inputs)
+rather than a stateful RNG keeps every decision **order-independent**:
+the same (seed, site, key) always draws the same value no matter how
+the scheduler interleaved the other jobs, which is what makes chaos
+runs and jittered retries replayable from a single seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["prf01", "prf_choice"]
+
+
+def prf01(*parts) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by ``parts``.
+
+    Parts are joined by their ``str()`` forms, so any mix of ints,
+    strings and floats works; the draw is stable across processes,
+    platforms and Python versions (SHA-256 of the key material).
+    """
+    blob = "\x1f".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def prf_choice(options, *parts):
+    """Deterministically pick one of ``options`` keyed by ``parts``."""
+    seq = list(options)
+    if not seq:
+        raise ValueError("prf_choice needs at least one option")
+    return seq[int(prf01(*parts) * len(seq)) % len(seq)]

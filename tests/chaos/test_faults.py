@@ -1,0 +1,85 @@
+"""Fault bodies: worker-side failures and on-disk artifact corruption."""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosInjectedError, apply_store_fault, apply_worker_fault
+from repro.runner.jobs import JobSpec
+from repro.runner.store import ResultStore
+
+PAYLOAD = {
+    "experiment_id": "T-OK",
+    "title": "t",
+    "tables": [],
+    "checks": {"always": True},
+    "data": {"x": 123, "name": "value"},
+}
+
+
+def _artifact(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = JobSpec("T-OK", {"x": 1}, entrypoint="tests.runner.helpers:ok_job")
+    path = store.put(spec, PAYLOAD)
+    return store, spec, path
+
+
+class TestWorkerFaults:
+    def test_exception(self):
+        with pytest.raises(ChaosInjectedError):
+            apply_worker_fault({"kind": "exception"})
+
+    def test_oom_allocates_then_raises(self):
+        with pytest.raises(MemoryError, match="1024 bytes"):
+            apply_worker_fault({"kind": "oom", "oom_bytes": 1024})
+
+    def test_slow_returns_normally(self):
+        assert apply_worker_fault({"kind": "slow", "slow_seconds": 0.0}) is None
+
+    def test_hang_raises_when_unwatched(self):
+        with pytest.raises(ChaosInjectedError, match="hang"):
+            apply_worker_fault({"kind": "hang", "hang_seconds": 0.0})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown worker fault"):
+            apply_worker_fault({"kind": "frob"})
+
+    # "exit" calls os._exit and cannot be asserted in-process; the pool
+    # tests and the soak suite cover it end to end.
+
+
+class TestStoreFaults:
+    def test_truncate_halves_the_file(self, tmp_path):
+        _, _, path = _artifact(tmp_path)
+        size = path.stat().st_size
+        apply_store_fault("truncate", path)
+        assert path.stat().st_size == size // 2
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_bitflip_keeps_json_valid_but_breaks_checksum(self, tmp_path):
+        store, spec, path = _artifact(tmp_path)
+        original = json.loads(path.read_text())
+        apply_store_fault("bitflip", path)
+        flipped = json.loads(path.read_text())  # still valid JSON
+        assert flipped["result"] != original["result"]
+        assert flipped["sha256"] == original["sha256"]
+        # The hardened store must treat it as a miss, never a hit.
+        assert store.get(spec) is None
+
+    def test_orphan_drops_a_stray_tmp_file(self, tmp_path):
+        store, _, path = _artifact(tmp_path)
+        apply_store_fault("orphan", path)
+        strays = list(path.parent.glob(".tmp-*.json"))
+        assert len(strays) == 1
+        assert len(store) == 1  # stray is not counted as an artifact
+
+    def test_perm_clears_the_mode_bits(self, tmp_path):
+        _, _, path = _artifact(tmp_path)
+        apply_store_fault("perm", path)
+        assert path.stat().st_mode & 0o777 == 0
+
+    def test_unknown_kind_raises(self, tmp_path):
+        _, _, path = _artifact(tmp_path)
+        with pytest.raises(ValueError, match="unknown store fault"):
+            apply_store_fault("gamma-ray", path)

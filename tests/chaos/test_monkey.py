@@ -1,0 +1,101 @@
+"""ChaosMonkey: hook installation, counting, one-shot kill bookkeeping."""
+
+import pytest
+
+from repro.chaos import ChaosMonkey, FaultPlan, SweepKilled, monkey
+from repro.chaos import hooks
+from repro.runner.events import EventLog
+
+
+class TestInstallation:
+    def test_monkey_context_installs_and_restores(self):
+        assert hooks.active is None
+        with monkey(FaultPlan(seed=1)) as mk:
+            assert hooks.active is mk
+        assert hooks.active is None
+
+    def test_nested_monkeys_restore_the_outer_one(self):
+        with monkey(FaultPlan(seed=1)) as outer:
+            with monkey(FaultPlan(seed=2)) as inner:
+                assert hooks.active is inner
+            assert hooks.active is outer
+
+    def test_accepts_an_existing_monkey(self):
+        mk = ChaosMonkey(FaultPlan(seed=3))
+        with monkey(mk) as installed:
+            assert installed is mk
+
+
+class TestPrepareJob:
+    def test_fault_is_embedded_in_job_doc(self):
+        mk = ChaosMonkey(FaultPlan(seed=5, worker_rate=1.0))
+        doc = {}
+        mk.prepare_job(doc, "some-key", 1)
+        assert doc["chaos"]["kind"] in FaultPlan(seed=5).worker_kinds
+        assert mk.injected[f"worker:{doc['chaos']['kind']}"] == 1
+
+    def test_stale_fault_is_cleared_on_requeue(self):
+        mk = ChaosMonkey(FaultPlan(seed=5, worker_rate=1.0))
+        doc = {}
+        mk.prepare_job(doc, "some-key", 1)
+        mk.prepare_job(doc, "some-key", 2)  # past the per-job budget
+        assert "chaos" not in doc
+
+    def test_disarmed_monkey_is_a_no_op(self):
+        mk = ChaosMonkey(FaultPlan(seed=5, worker_rate=1.0))
+        mk.disarm()
+        doc = {}
+        mk.prepare_job(doc, "some-key", 1)
+        assert doc == {}
+        mk.rearm()
+        mk.prepare_job(doc, "some-key", 1)
+        assert "chaos" in doc
+
+
+class TestOnEvent:
+    def _finish(self, key="K1"):
+        return {"event": "job_finish", "key": key}
+
+    def test_kill_fires_once_per_event_key(self, tmp_path):
+        mk = ChaosMonkey(FaultPlan(seed=1, log_rate=1.0, max_kills=5))
+        log = EventLog(tmp_path / "events.jsonl")
+        with pytest.raises(SweepKilled):
+            mk.on_event(log, self._finish("K1"))
+        mk.on_event(log, self._finish("K1"))  # same key: no second kill
+        assert mk.kills == 1
+
+    def test_max_kills_caps_total_deaths(self, tmp_path):
+        mk = ChaosMonkey(FaultPlan(seed=1, log_rate=1.0, max_kills=1))
+        log = EventLog(tmp_path / "events.jsonl")
+        with pytest.raises(SweepKilled):
+            mk.on_event(log, self._finish("K1"))
+        mk.on_event(log, self._finish("K2"))  # cap reached: spared
+        assert mk.kills == 1
+
+    def test_non_finish_events_never_kill(self, tmp_path):
+        mk = ChaosMonkey(FaultPlan(seed=1, log_rate=1.0))
+        log = EventLog(tmp_path / "events.jsonl")
+        mk.on_event(log, {"event": "job_start", "key": "K1"})
+        assert mk.kills == 0
+
+    def test_torn_tail_leaves_a_partial_line(self, tmp_path):
+        plan = FaultPlan(seed=1, log_rate=1.0, log_kinds=("torn_tail",))
+        mk = ChaosMonkey(plan)
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("sweep_start", jobs=1, workers=1)
+        with pytest.raises(SweepKilled):
+            mk.on_event(log, self._finish("K1"))
+        log.close()
+        data = path.read_bytes()
+        assert not data.endswith(b"\n")  # the tear
+        assert data.count(b"\n") == 1  # sweep_start survived intact
+
+    def test_report_summarises_injections(self):
+        mk = ChaosMonkey(FaultPlan(seed=5, worker_rate=1.0))
+        mk.prepare_job({}, "k1", 1)
+        mk.prepare_job({}, "k2", 1)
+        report = mk.report()
+        assert report["seed"] == 5
+        assert report["injected_total"] == 2
+        assert report["injected_by_site"] == {"worker": 2}

@@ -1,0 +1,83 @@
+"""FaultPlan: seeded, order-independent fault schedules."""
+
+import pytest
+
+from repro.chaos import EVENT_KINDS, STORE_KINDS, WORKER_KINDS, FaultPlan
+
+
+class TestDecide:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=42)
+        b = FaultPlan(seed=42)
+        points = [("worker", f"k{i}", 1) for i in range(50)]
+        points += [("store", f"k{i}", 1) for i in range(50)]
+        assert [a.decide(*p) for p in points] == [b.decide(*p) for p in points]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, worker_rate=0.5)
+        b = FaultPlan(seed=2, worker_rate=0.5)
+        decisions_a = [a.decide("worker", f"k{i}") for i in range(100)]
+        decisions_b = [b.decide("worker", f"k{i}") for i in range(100)]
+        assert decisions_a != decisions_b
+
+    def test_order_independent(self):
+        """Decisions depend only on the point, not on query order."""
+        plan = FaultPlan(seed=9)
+        forward = [plan.decide("store", f"k{i}") for i in range(30)]
+        backward = [plan.decide("store", f"k{i}") for i in reversed(range(30))]
+        assert forward == list(reversed(backward))
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=3, worker_rate=0.0, store_rate=0.0, log_rate=0.0)
+        assert all(
+            plan.decide(site, f"k{i}") is None
+            for site in ("worker", "store", "events")
+            for i in range(50)
+        )
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=3, worker_rate=1.0)
+        kinds = {plan.decide("worker", f"k{i}") for i in range(100)}
+        assert None not in kinds
+        assert kinds <= set(WORKER_KINDS)
+
+    def test_kinds_come_from_site_tuple(self):
+        plan = FaultPlan(seed=5, store_rate=1.0, store_kinds=("bitflip",))
+        assert all(plan.decide("store", f"k{i}") == "bitflip" for i in range(20))
+
+    def test_worker_faults_stop_after_budget(self):
+        plan = FaultPlan(seed=7, worker_rate=1.0, max_worker_faults_per_job=1)
+        assert plan.decide("worker", "job", attempt=1) in WORKER_KINDS
+        assert plan.decide("worker", "job", attempt=2) is None
+
+    def test_attempt_ignored_for_store_site(self):
+        plan = FaultPlan(seed=7, store_rate=1.0)
+        assert plan.decide("store", "job", attempt=5) in STORE_KINDS
+
+    def test_unknown_site_raises(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(seed=0).decide("network", "k")
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(ValueError, match="worker_rate"):
+            FaultPlan(seed=0, worker_rate=1.5)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=13, worker_rate=0.2, log_rate=0.9,
+            worker_kinds=("exception", "slow"), max_kills=3,
+        )
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_worker_fault_doc_is_self_contained(self):
+        plan = FaultPlan(seed=1, hang_seconds=2.5, oom_bytes=1024)
+        doc = plan.worker_fault_doc("hang")
+        assert doc["kind"] == "hang"
+        assert doc["hang_seconds"] == 2.5
+        assert doc["oom_bytes"] == 1024
+        assert set(doc) == {"kind", "hang_seconds", "slow_seconds", "oom_bytes"}
+
+    def test_log_kinds_are_known(self):
+        assert set(FaultPlan(seed=0).log_kinds) == set(EVENT_KINDS)

@@ -1,0 +1,153 @@
+"""Soak suite: the sweep's fault-tolerance claims under seeded chaos.
+
+The invariant under test, for each of three fixed fault-plan seeds:
+
+1. the sweep *terminates* (restarting after simulated SIGKILLs),
+2. every job ends in a terminal state (ok / cached / failed) with an
+   attributable attempt history, and
+3. after the fault-free verification pass, the surviving artifacts are
+   byte-identical to a run that never saw a fault.
+
+The three seeds are chosen to stress different sites: 101 is
+worker-heavy (exceptions, exits, OOMs, hangs), 202 is store-heavy with
+a guaranteed mid-sweep kill, 303 mixes everything with the heartbeat
+watchdog armed.
+"""
+
+import pytest
+
+from repro.chaos import FaultPlan, run_chaos_sweep
+from repro.chaos.soak import TERMINAL_STATUSES
+from repro.runner.jobs import JobSpec
+from repro.runner.pool import run_sweep
+from repro.runner.store import QUARANTINE_DIR, ResultStore
+
+HELPERS = "tests.runner.helpers"
+
+#: The three fixed fault plans CI soaks on (see .github/workflows).
+PLANS = {
+    101: FaultPlan(
+        seed=101, worker_rate=0.7, store_rate=0.15, log_rate=0.0,
+        hang_seconds=0.4, slow_seconds=0.05,
+    ),
+    202: FaultPlan(
+        seed=202, worker_rate=0.0, store_rate=0.9, log_rate=1.0, max_kills=1,
+    ),
+    303: FaultPlan(
+        seed=303, worker_rate=0.5, store_rate=0.5, log_rate=0.25,
+        hang_seconds=5.0, slow_seconds=0.05, max_kills=1,
+    ),
+}
+
+#: run_sweep keywords per seed; 303 arms the heartbeat watchdog so its
+#: (long) hangs are reaped instead of slept through.
+RUN_KW = {
+    101: {},
+    202: {},
+    303: {"timeout": 1.0, "heartbeat": 0.2},
+}
+
+
+def _specs(n=5):
+    return [
+        JobSpec("T-OK", {"x": x}, entrypoint=f"{HELPERS}:ok_job")
+        for x in range(n)
+    ]
+
+
+def _artifact_map(root):
+    """Relative path -> bytes for every real artifact under ``root``."""
+    return {
+        p.relative_to(root): p.read_bytes()
+        for p in sorted(root.glob("*/*.json"))
+        if p.parent.name != QUARANTINE_DIR and not p.name.startswith(".")
+    }
+
+
+@pytest.mark.parametrize("seed", sorted(PLANS))
+def test_soak_invariant(seed, tmp_path):
+    specs = _specs()
+
+    ref_store = ResultStore(tmp_path / "ref")
+    run_sweep(specs, ref_store, workers=2, progress=False)
+
+    store = ResultStore(tmp_path / "chaos")
+    report = run_chaos_sweep(
+        specs,
+        store,
+        PLANS[seed],
+        events_path=tmp_path / "events.jsonl",
+        workers=2,
+        retries=2,
+        backoff=0.01,
+        **RUN_KW[seed],
+    )
+
+    # 1. terminated, 2. every job terminal with attributable history
+    assert report.all_terminal
+    assert len(report.chaos_outcomes) == len(specs)
+    for outcome in report.chaos_outcomes:
+        assert outcome.status in TERMINAL_STATUSES
+        if outcome.status == "failed":
+            assert outcome.attempts
+            assert all(a.kind for a in outcome.attempts)
+
+    # the plan actually exercised something (fixed seeds are chosen so)
+    assert report.chaos["injected_total"] >= 1
+
+    # 3. verification pass healed the store byte-for-byte
+    assert _artifact_map(store.root) == _artifact_map(ref_store.root)
+    assert all(o.ok for o in report.outcomes)
+
+
+def test_store_heavy_seed_really_kills_and_resumes(tmp_path):
+    """Seed 202 has log_rate=1.0: the first job_finish emit must die,
+    forcing at least one journal recovery and sweep restart."""
+    store = ResultStore(tmp_path / "chaos")
+    report = run_chaos_sweep(
+        _specs(),
+        store,
+        PLANS[202],
+        events_path=tmp_path / "events.jsonl",
+        workers=2,
+        retries=2,
+        backoff=0.01,
+    )
+    assert report.chaos["kills"] == 1
+    assert report.rounds >= 2
+    assert report.all_terminal
+
+
+def test_chaos_run_is_reproducible(tmp_path):
+    """Same plan, same specs -> same injection schedule."""
+    plan = FaultPlan(seed=77, worker_rate=0.6, store_rate=0.4, log_rate=0.0)
+    reports = []
+    for run in ("a", "b"):
+        store = ResultStore(tmp_path / run)
+        reports.append(
+            run_chaos_sweep(
+                _specs(), store, plan,
+                events_path=tmp_path / f"events-{run}.jsonl",
+                workers=2, retries=2, backoff=0.01,
+            )
+        )
+    assert reports[0].chaos["injected"] == reports[1].chaos["injected"]
+
+
+def test_failed_jobs_stay_attributable_when_retries_exhaust(tmp_path):
+    """With a zero retry budget, an injected worker fault is terminal —
+    and the failure record says exactly what happened."""
+    plan = FaultPlan(
+        seed=11, worker_rate=1.0, store_rate=0.0, log_rate=0.0,
+        worker_kinds=("exception",),
+    )
+    store = ResultStore(tmp_path)
+    report = run_chaos_sweep(
+        _specs(2), store, plan,
+        workers=2, retries=0, backoff=0.01, verify=False,
+    )
+    assert report.all_terminal
+    for outcome in report.chaos_outcomes:
+        assert outcome.status == "failed"
+        assert "chaos" in (outcome.error or "")
+        assert [a.kind for a in outcome.attempts] == ["error"]

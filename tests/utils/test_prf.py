@@ -1,0 +1,39 @@
+"""Deterministic PRF helpers used for fault plans and retry jitter."""
+
+from repro.utils.prf import prf01, prf_choice
+
+
+class TestPrf01:
+    def test_deterministic(self):
+        assert prf01(7, "site", "key", 1) == prf01(7, "site", "key", 1)
+
+    def test_in_unit_interval(self):
+        values = [prf01(seed, "x", i) for seed in range(20) for i in range(20)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_sensitive_to_every_part(self):
+        base = prf01(1, "a", "b")
+        assert prf01(2, "a", "b") != base
+        assert prf01(1, "c", "b") != base
+        assert prf01(1, "a", "d") != base
+
+    def test_roughly_uniform(self):
+        values = [prf01("uniformity", i) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.05
+        assert sum(1 for v in values if v < 0.25) / len(values) < 0.35
+
+
+class TestPrfChoice:
+    def test_picks_from_options(self):
+        options = ("a", "b", "c")
+        for i in range(50):
+            assert prf_choice(options, 3, i) in options
+
+    def test_deterministic(self):
+        assert prf_choice(("x", "y"), 9, "k") == prf_choice(("x", "y"), 9, "k")
+
+    def test_covers_all_options(self):
+        options = ("a", "b", "c", "d")
+        seen = {prf_choice(options, 11, i) for i in range(200)}
+        assert seen == set(options)
