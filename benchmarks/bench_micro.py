@@ -15,15 +15,18 @@ Two entry points over the same workloads:
 """
 
 import argparse
+import atexit
 import json
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.bilinear import strassen
-from repro.cdag import build_cdag, compute_metavertices
+from repro.cdag import artifact, build_cdag, compute_metavertices
 from repro.linalg import strassen_matmul
 from repro.pebbling import CacheExecutor
 from repro.routing import lemma3_routing, theorem2_routing
@@ -135,6 +138,41 @@ def make_cases() -> dict:
         for M in e9_Ms:
             for sched, pol in e9_grid:
                 reference_run(g5, sched, M, pol)
+    # Paired graph-cache cases: the warm path loads every graph,
+    # schedule and executor plan for the E9 depth ladder from a
+    # pre-warmed bundle store through a *fresh* GraphCache instance per
+    # call (a new instance has empty process-local maps — exactly what a
+    # just-spawned sweep worker sees), while the cold path compiles
+    # everything in-process with no cache active.  run_benchmarks
+    # derives their ratio into "graphcache_warm_speedup".
+    from repro.runner.graphcache import GraphCache
+
+    gc_root = tempfile.mkdtemp(prefix="repro-bench-graphcache-")
+    atexit.register(shutil.rmtree, gc_root, ignore_errors=True)
+    GraphCache(gc_root).warm(strassen(), (2, 3, 4, 5))
+    gc_rs = (2, 3, 4, 5)
+
+    def _compile_ladder():
+        for r in gc_rs:
+            g = build_cdag(strassen(), r)
+            ex = CacheExecutor(g)
+            ex.compile(recursive_schedule(g))
+            ex.compile(rank_order_schedule(g))
+
+    def graphcache_cold():
+        prev = artifact.set_active_cache(None)
+        try:
+            _compile_ladder()
+        finally:
+            artifact.set_active_cache(prev)
+
+    def graphcache_warm():
+        prev = artifact.set_active_cache(GraphCache(gc_root))
+        try:
+            _compile_ladder()
+        finally:
+            artifact.set_active_cache(prev)
+
     rng = np.random.default_rng(0)
     A = rng.standard_normal((64, 64))
     B = rng.standard_normal((64, 64))
@@ -161,6 +199,8 @@ def make_cases() -> dict:
         # simulator; their ratio lands in "executor_e9_n32_speedup".
         "executor_e9_n32_grid_core": e9_n32_core,
         "executor_e9_n32_grid_reference": e9_n32_reference,
+        "graphcache_e9_cold_compile": graphcache_cold,
+        "graphcache_e9_warm_compile": graphcache_warm,
         "lemma3_routing_k3": lambda: lemma3_routing(g3),
         "theorem2_routing_k2": lambda: theorem2_routing(g2),
         "strassen_matmul_64": lambda: strassen_matmul(A, B, None, 8),
@@ -207,6 +247,8 @@ def run_benchmarks(repeats: int = 3, select: str | None = None) -> dict:
          "executor_sweep_run_many", "executor_sweep_repeated_run"),
         ("executor_e9_n32_speedup",
          "executor_e9_n32_grid_core", "executor_e9_n32_grid_reference"),
+        ("graphcache_warm_speedup",
+         "graphcache_e9_warm_compile", "graphcache_e9_cold_compile"),
     ):
         a, b = results.get(fast), results.get(slow)
         if a and b and a["median_s"] > 0:

@@ -11,13 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bilinear.algorithm import BilinearAlgorithm
-from repro.cdag.graph import CDAG, Region, Slab
+from repro.cdag import artifact as _artifact
+from repro.cdag.graph import CDAG, Region, Slab, slab_layout
 from repro.errors import CDAGError
 from repro.telemetry.spans import span
-from repro.utils.indexing import MixedRadix
 from repro.utils.validation import check_nonnegative_int
 
-__all__ = ["build_cdag", "build_base_graph", "MAX_VERTICES"]
+__all__ = ["build_cdag", "build_cdag_uncached", "build_base_graph", "MAX_VERTICES"]
 
 #: Safety valve: refuse to build graphs that would not fit in memory.
 MAX_VERTICES = 20_000_000
@@ -44,7 +44,23 @@ def build_cdag(alg: BilinearAlgorithm, r: int) -> CDAG:
     ------
     CDAGError
         If the graph would exceed :data:`MAX_VERTICES`.
+
+    When a graph cache is active (``--graph-cache`` /
+    ``REPRO_GRAPH_CACHE``), the build is served from the
+    content-addressed bundle store instead of being recomputed —
+    byte-identical arrays, built once per machine.
     """
+    cache = _artifact.active_cache()
+    if cache is not None:
+        g = cache.get_graph(alg, r)
+        if g is not None:
+            return g
+    return build_cdag_uncached(alg, r)
+
+
+def build_cdag_uncached(alg: BilinearAlgorithm, r: int) -> CDAG:
+    """:func:`build_cdag` minus the graph-cache lookup (the cache itself
+    calls this on a miss)."""
     with span("cdag.build", alg=alg.name) as sp:
         g = _build_cdag(alg, r)
         sp.add("vertices", g.n_vertices)
@@ -67,21 +83,19 @@ def _build_cdag(alg: BilinearAlgorithm, r: int) -> CDAG:
     # ------------------------------------------------------------------
     # Slab layout: ENC_A ranks 0..r, ENC_B ranks 0..r, DEC ranks 0..r.
     # ------------------------------------------------------------------
-    slabs: dict[tuple[int, int], Slab] = {}
-    offset = 0
-    for region in (Region.ENC_A, Region.ENC_B):
-        for i in range(r + 1):
-            radix = MixedRadix([b] * i + [a] * (r - i))
-            slabs[(region, i)] = Slab(region, i, offset, radix)
-            offset += radix.size
-    for j in range(r + 1):
-        radix = MixedRadix([b] * (r - j) + [a] * j)
-        slabs[(Region.DEC, j)] = Slab(Region.DEC, j, offset, radix)
-        offset += radix.size
-    assert offset == n_vertices
+    slabs, total = slab_layout(a, b, r)
+    assert total == n_vertices
 
     # ------------------------------------------------------------------
-    # Edges, as (child, parent) arrays per transition.
+    # Edges, as (child, parent) arrays per transition.  Each rank
+    # transition fills one preallocated (nnz, n_m, n_e) buffer per side:
+    # the heads ``(M*b + m_i) * n_e + offset`` are built on the small
+    # (nnz, n_m, 1) prefix and broadcast-added against the entry tail
+    # directly into the buffer, so peak memory per transition is the two
+    # output blocks themselves — no per-nonzero broadcast_to().copy()
+    # temporaries.  Ravel order (nonzero-major, then M, then E) matches
+    # the per-nonzero emission order exactly, so the stable argsort
+    # below produces byte-identical CSR arrays.
     # ------------------------------------------------------------------
     child_blocks: list[np.ndarray] = []
     parent_blocks: list[np.ndarray] = []
@@ -90,22 +104,46 @@ def _build_cdag(alg: BilinearAlgorithm, r: int) -> CDAG:
         child_blocks.append(children.ravel())
         parent_blocks.append(parents.ravel())
 
+    def emit_transition(
+        child_slab: Slab,
+        parent_slab: Slab,
+        n_m: int,
+        n_e: int,
+        child_digits: np.ndarray,
+        parent_digits: np.ndarray,
+        child_base: int,
+        parent_base: int,
+    ) -> None:
+        nnz = len(child_digits)
+        if nnz == 0:
+            return
+        m_head = np.arange(n_m, dtype=np.int64).reshape(1, n_m, 1)
+        e_tail = np.arange(n_e, dtype=np.int64).reshape(1, 1, n_e)
+        c_col = child_digits.astype(np.int64).reshape(nnz, 1, 1)
+        p_col = parent_digits.astype(np.int64).reshape(nnz, 1, 1)
+        # parent (M, p, E): index (M*parent_base + p)*n_e + E
+        p_head = (m_head * parent_base + p_col) * n_e + parent_slab.offset
+        # child (M, c, E): index (M*child_base + c)*n_e + E
+        c_head = (m_head * child_base + c_col) * n_e + child_slab.offset
+        parents = np.empty((nnz, n_m, n_e), dtype=np.int64)
+        children = np.empty((nnz, n_m, n_e), dtype=np.int64)
+        np.add(p_head, e_tail, out=parents)
+        np.add(c_head, e_tail, out=children)
+        emit(children, parents)
+
     for region, E in ((Region.ENC_A, alg.U), (Region.ENC_B, alg.V)):
         nz_m, nz_e = np.nonzero(E)
         for i in range(1, r + 1):
-            child_slab = slabs[(region, i - 1)]
-            parent_slab = slabs[(region, i)]
-            n_m = b ** (i - 1)  # leading multiplication digits
-            n_e = a ** (r - i)  # trailing entry digits
-            m_head = np.arange(n_m, dtype=np.int64)[:, None]
-            e_tail = np.arange(n_e, dtype=np.int64)[None, :]
-            for m_i, e in zip(nz_m.tolist(), nz_e.tolist()):
-                # parent (M, m_i, E): index (M*b + m_i)*n_e + E
-                parents = parent_slab.offset + (m_head * b + m_i) * n_e + e_tail
-                # child (M, e, E): index (M*a + e)*n_e + E
-                children = child_slab.offset + (m_head * a + e) * n_e + e_tail
-                emit(np.broadcast_to(children, (n_m, n_e)).copy(),
-                     np.broadcast_to(parents, (n_m, n_e)).copy())
+            emit_transition(
+                child_slab=slabs[(region, i - 1)],
+                parent_slab=slabs[(region, i)],
+                n_m=b ** (i - 1),  # leading multiplication digits
+                n_e=a ** (r - i),  # trailing entry digits
+                child_digits=nz_e,
+                parent_digits=nz_m,
+                child_base=a,
+                parent_base=b,
+            )
 
     # Multiplication layer: product (m_1..m_r) depends on the two encoder
     # tops with the same tuple.
@@ -118,17 +156,16 @@ def _build_cdag(alg: BilinearAlgorithm, r: int) -> CDAG:
     # Decoding: rank j-1 -> rank j.
     nz_e, nz_m = np.nonzero(alg.W)
     for j in range(1, r + 1):
-        child_slab = slabs[(Region.DEC, j - 1)]
-        parent_slab = slabs[(Region.DEC, j)]
-        n_m = b ** (r - j)  # leading multiplication digits
-        n_e = a ** (j - 1)  # trailing entry digits
-        m_head = np.arange(n_m, dtype=np.int64)[:, None]
-        e_tail = np.arange(n_e, dtype=np.int64)[None, :]
-        for e, m in zip(nz_e.tolist(), nz_m.tolist()):
-            parents = parent_slab.offset + (m_head * a + e) * n_e + e_tail
-            children = child_slab.offset + (m_head * b + m) * n_e + e_tail
-            emit(np.broadcast_to(children, (n_m, n_e)).copy(),
-                 np.broadcast_to(parents, (n_m, n_e)).copy())
+        emit_transition(
+            child_slab=slabs[(Region.DEC, j - 1)],
+            parent_slab=slabs[(Region.DEC, j)],
+            n_m=b ** (r - j),  # leading multiplication digits
+            n_e=a ** (j - 1),  # trailing entry digits
+            child_digits=nz_m,
+            parent_digits=nz_e,
+            child_base=b,
+            parent_base=a,
+        )
 
     children = np.concatenate(child_blocks) if child_blocks else np.empty(0, np.int64)
     parents = np.concatenate(parent_blocks) if parent_blocks else np.empty(0, np.int64)

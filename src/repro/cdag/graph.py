@@ -42,7 +42,7 @@ from repro.bilinear.algorithm import BilinearAlgorithm
 from repro.errors import CDAGError
 from repro.utils.indexing import MixedRadix
 
-__all__ = ["Region", "CDAG", "Slab"]
+__all__ = ["Region", "CDAG", "Slab", "slab_layout"]
 
 
 class Region:
@@ -78,6 +78,30 @@ class Slab:
         )
 
 
+def slab_layout(a: int, b: int, r: int) -> tuple[dict[tuple[int, int], Slab], int]:
+    """The canonical slab layout of ``G_r``: ENC_A ranks ``0..r``, then
+    ENC_B ranks ``0..r``, then DEC ranks ``0..r``, offsets assigned in
+    that order.  Returns ``(slabs, n_vertices)``.
+
+    The layout is a pure function of ``(a, b, r)``, which is what lets a
+    serialised graph bundle (:mod:`repro.cdag.artifact`) reconstruct the
+    slab tables from the algorithm description alone instead of storing
+    them.
+    """
+    slabs: dict[tuple[int, int], Slab] = {}
+    offset = 0
+    for region in (Region.ENC_A, Region.ENC_B):
+        for i in range(r + 1):
+            radix = MixedRadix([b] * i + [a] * (r - i))
+            slabs[(region, i)] = Slab(region, i, offset, radix)
+            offset += radix.size
+    for j in range(r + 1):
+        radix = MixedRadix([b] * (r - j) + [a] * j)
+        slabs[(Region.DEC, j)] = Slab(Region.DEC, j, offset, radix)
+        offset += radix.size
+    return slabs, offset
+
+
 class CDAG:
     """Computation DAG ``G_r`` of a Strassen-like algorithm.
 
@@ -109,6 +133,8 @@ class CDAG:
         pred_indptr: np.ndarray,
         pred_indices: np.ndarray,
         is_copy: np.ndarray,
+        succ_indptr: np.ndarray | None = None,
+        succ_indices: np.ndarray | None = None,
     ):
         self.alg = alg
         self.r = r
@@ -118,6 +144,8 @@ class CDAG:
         self.is_copy = is_copy
         self.n_vertices = len(pred_indptr) - 1
         self._pred_csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._edge_keys: np.ndarray | None = None
+        self._graph_key: str | None = None  # set lazily by cdag.artifact
 
         # Derived per-vertex metadata (flat arrays).
         rank = np.empty(self.n_vertices, dtype=np.int16)
@@ -129,10 +157,14 @@ class CDAG:
         self.rank = rank
         self.region = region
 
-        # Successor CSR (transpose of predecessor CSR).
-        self.succ_indptr, self.succ_indices = _transpose_csr(
-            pred_indptr, pred_indices, self.n_vertices
-        )
+        # Successor CSR (transpose of predecessor CSR).  Bundle loads
+        # pass the stored transpose in; cold builds compute it here.
+        if succ_indptr is None or succ_indices is None:
+            succ_indptr, succ_indices = _transpose_csr(
+                pred_indptr, pred_indices, self.n_vertices
+            )
+        self.succ_indptr = succ_indptr
+        self.succ_indices = succ_indices
 
     # ------------------------------------------------------------------
     # Identity / addressing
@@ -235,6 +267,28 @@ class CDAG:
                 np.ascontiguousarray(self.pred_indices, dtype=np.int64),
             )
         return csr
+
+    def edge_key_index(self) -> np.ndarray:
+        """Sorted int64 keys of every adjacency in *both* orientations
+        (key ``u * n_vertices + v``), cached on first use.
+
+        ``np.searchsorted`` over this array answers "is (u, v) an edge,
+        in either direction?" for whole batches at once — the vectorised
+        membership test :func:`repro.routing.verify.verify_path` runs
+        instead of per-edge ``in predecessors()`` scans.  Keys fit int64
+        comfortably: ``n_vertices`` is capped well below ``2**31``.
+        """
+        keys = self._edge_keys
+        if keys is None:
+            indptr, indices = self.pred_csr()
+            parents = np.repeat(
+                np.arange(self.n_vertices, dtype=np.int64), np.diff(indptr)
+            )
+            n = np.int64(self.n_vertices)
+            keys = np.concatenate([parents * n + indices, indices * n + parents])
+            keys.sort()
+            self._edge_keys = keys
+        return keys
 
     def predecessors(self, v: int) -> np.ndarray:
         """Vertices ``v`` directly depends on."""

@@ -53,12 +53,18 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from repro.cdag import artifact as _artifact
 from repro.cdag.graph import CDAG
 from repro.errors import CacheError, ScheduleError
 from repro.pebbling.machine import MachineModel
 from repro.telemetry.spans import span
 
-__all__ = ["IOResult", "CacheExecutor", "simulate_io"]
+__all__ = ["EXECUTOR_VERSION", "IOResult", "CacheExecutor", "simulate_io"]
+
+#: Version of the compiled-plan format; folded into plan bundle keys so
+#: any change to :class:`_SchedulePlan`'s arrays (meaning, dtype, order)
+#: re-keys every on-disk plan instead of mis-decoding it.
+EXECUTOR_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -113,7 +119,10 @@ class _SchedulePlan:
     - ``uses_left0``: per vertex, total number of uses.
 
     The hot loop indexes these as Python lists (cheaper per element than
-    numpy scalars); the numpy originals stay available for callers.
+    numpy scalars); the lists are materialised lazily on first simulate
+    so a plan loaded from a bundle but never run (warm-up, key checks)
+    stays a handful of cheap memmaps.  The numpy originals stay
+    available for callers.
     """
 
     __slots__ = (
@@ -153,13 +162,46 @@ class _SchedulePlan:
         self.occ_next = occ_next
         self.first_use = first_use
         self.uses_left0 = np.bincount(step_ops, minlength=n).astype(np.int64)
+        self._sched_l = None
 
-        self._sched_l = schedule.tolist()
-        self._indptr_l = step_indptr.tolist()
-        self._ops_l = step_ops.tolist()
-        self._occ_next_l = occ_next.tolist()
-        self._first_use_l = first_use.tolist()
-        self._uses_l = self.uses_left0.tolist()
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The plan's serialisable arrays (bundle format; names match
+        :data:`repro.cdag.artifact.PLAN_ARRAY_NAMES`)."""
+        return {
+            "schedule": np.ascontiguousarray(self.schedule, dtype=np.int64),
+            "step_indptr": np.ascontiguousarray(self.step_indptr, dtype=np.int64),
+            "step_ops": np.ascontiguousarray(self.step_ops, dtype=np.int64),
+            "occ_next": np.ascontiguousarray(self.occ_next, dtype=np.int64),
+            "first_use": np.ascontiguousarray(self.first_use, dtype=np.int64),
+            "uses_left0": np.ascontiguousarray(self.uses_left0, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays, validated: bool) -> "_SchedulePlan":
+        """Rebuild a plan from bundle arrays without recompiling (the
+        arrays may be read-only memmaps; the simulators only read
+        them)."""
+        self = cls.__new__(cls)
+        self.schedule = arrays["schedule"]
+        self.step_indptr = arrays["step_indptr"]
+        self.step_ops = arrays["step_ops"]
+        self.occ_next = arrays["occ_next"]
+        self.first_use = arrays["first_use"]
+        self.uses_left0 = arrays["uses_left0"]
+        self.n_steps = len(self.schedule)
+        self.validated = validated
+        self._sched_l = None
+        return self
+
+    def ensure_lists(self) -> None:
+        """Materialise the hot-loop Python lists (idempotent)."""
+        if self._sched_l is None:
+            self._sched_l = self.schedule.tolist()
+            self._indptr_l = self.step_indptr.tolist()
+            self._ops_l = self.step_ops.tolist()
+            self._occ_next_l = self.occ_next.tolist()
+            self._first_use_l = self.first_use.tolist()
+            self._uses_l = self.uses_left0.tolist()
 
 
 def _gather_operands(
@@ -240,14 +282,23 @@ class CacheExecutor:
     def _plan(self, schedule, validate: bool) -> _SchedulePlan:
         """Fetch or build the :class:`_SchedulePlan` for ``schedule``
         (small content-keyed cache, so repeated ``run`` calls on the
-        same schedule reuse the precompute like ``run_many`` does)."""
+        same schedule reuse the precompute like ``run_many`` does).
+
+        When a graph cache is active, a miss here consults the on-disk
+        plan bundle store before compiling — a warm process maps the
+        occurrence arrays instead of re-deriving them.
+        """
         schedule = np.ascontiguousarray(schedule, dtype=np.int64)
         key = hashlib.blake2b(schedule.tobytes(), digest_size=16).digest()
         plan = self._plans.get(key)
         if plan is None:
-            if validate:
-                schedule = self.validate_schedule(schedule)
-            plan = _SchedulePlan(self.cdag, schedule, validated=validate)
+            cache = _artifact.active_cache()
+            if cache is not None:
+                plan = cache.get_plan(self, schedule, key.hex(), validate)
+            if plan is None:
+                if validate:
+                    schedule = self.validate_schedule(schedule)
+                plan = _SchedulePlan(self.cdag, schedule, validated=validate)
             if len(self._plans) >= self._MAX_CACHED_PLANS:
                 self._plans.pop(next(iter(self._plans)))
             self._plans[key] = plan
@@ -255,6 +306,15 @@ class CacheExecutor:
             self.validate_schedule(schedule)
             plan.validated = True
         return plan
+
+    def compile(self, schedule, validate: bool = True) -> _SchedulePlan:
+        """Public access to the compiled plan for ``schedule``.
+
+        Used by cache warming and the cold/warm benchmarks to pay the
+        acquisition cost (validate + occurrence precompute, or a bundle
+        load) without running a simulation.
+        """
+        return self._plan(schedule, validate)
 
     def run(
         self,
@@ -377,6 +437,7 @@ class CacheExecutor:
 
     def _simulate_recency(self, plan, cache_size, refresh_on_use, io_trace):
         n = self.cdag.n_vertices
+        plan.ensure_lists()
         sched = plan._sched_l
         indptr = plan._indptr_l
         ops = plan._ops_l
@@ -492,6 +553,7 @@ class CacheExecutor:
 
     def _simulate_belady(self, plan, cache_size, io_trace):
         n = self.cdag.n_vertices
+        plan.ensure_lists()
         sched = plan._sched_l
         indptr = plan._indptr_l
         ops = plan._ops_l

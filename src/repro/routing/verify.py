@@ -21,13 +21,41 @@ from repro.routing.paths import Routing
 __all__ = ["RoutingReport", "verify_path", "verify_routing"]
 
 
+def _check_edges(cdag: CDAG, u: np.ndarray, v: np.ndarray) -> None:
+    """Raise :class:`RoutingError` unless every ``(u[i], v[i])`` pair is
+    adjacent in the CDAG (direction ignored).
+
+    One vectorised membership test over the CDAG's sorted
+    both-orientation edge-key index (:meth:`CDAG.edge_key_index`)
+    replaces the former per-edge ``in predecessors()`` scans — the
+    routing certificate checks of E4/E6 walk millions of path steps, so
+    this is a batch ``np.searchsorted`` instead of a Python loop.
+    """
+    if len(u) == 0:
+        return
+    n = np.int64(cdag.n_vertices)
+    in_range = (u >= 0) & (u < n) & (v >= 0) & (v < n)
+    if not in_range.all():
+        i = int(np.argmin(in_range))
+        raise RoutingError(
+            f"path step {int(u[i])} -> {int(v[i])} is not a CDAG edge"
+        )
+    keys = cdag.edge_key_index()
+    wanted = u * n + v
+    pos = np.searchsorted(keys, wanted)
+    found = (pos < len(keys)) & (keys[np.minimum(pos, len(keys) - 1)] == wanted)
+    if not found.all():
+        i = int(np.argmin(found))
+        raise RoutingError(
+            f"path step {int(u[i])} -> {int(v[i])} is not a CDAG edge"
+        )
+
+
 def verify_path(cdag: CDAG, path: np.ndarray) -> None:
     """Raise :class:`RoutingError` unless consecutive vertices are
     adjacent in the CDAG (direction ignored)."""
     path = np.asarray(path, dtype=np.int64)
-    for u, v in zip(path[:-1].tolist(), path[1:].tolist()):
-        if v not in cdag.predecessors(u) and u not in cdag.predecessors(v):
-            raise RoutingError(f"path step {u} -> {v} is not a CDAG edge")
+    _check_edges(cdag, path[:-1], path[1:])
 
 
 @dataclass(frozen=True)
@@ -84,13 +112,22 @@ def verify_routing(
     Raises on any violation; returns the measured report otherwise.
     """
     if check_paths:
+        # Endpoint declarations first (cheap, per path), then a single
+        # batched edge-membership test over every step of every path.
+        heads = []
+        tails = []
         for path, (src, dst) in zip(routing.paths, routing.endpoints):
             if int(path[0]) != src or int(path[-1]) != dst:
                 raise RoutingError(
                     f"path endpoints ({path[0]}, {path[-1]}) disagree with "
                     f"declaration ({src}, {dst})"
                 )
-            verify_path(cdag, path)
+            path = np.asarray(path, dtype=np.int64)
+            if len(path) > 1:
+                heads.append(path[:-1])
+                tails.append(path[1:])
+        if heads:
+            _check_edges(cdag, np.concatenate(heads), np.concatenate(tails))
 
     if expected_pairs is not None:
         declared = list(routing.endpoints)

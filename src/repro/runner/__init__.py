@@ -41,10 +41,12 @@ from repro.runner.events import (
     replay_journal,
     validate_event,
 )
+from repro.runner.graphcache import GraphCache
 from repro.runner.jobs import (
     JobSpec,
     expand_grid,
     experiment_accepts_seed,
+    graph_affinity,
     job_key,
     jobs_for_ids,
 )
@@ -66,6 +68,8 @@ from repro.runner.store import (
 __all__ = [
     "JobSpec",
     "job_key",
+    "graph_affinity",
+    "GraphCache",
     "expand_grid",
     "jobs_for_ids",
     "experiment_accepts_seed",

@@ -43,6 +43,7 @@ EVENT_SCHEMA: dict[str, frozenset] = {
     "sweep_finish": frozenset({"ok", "failed", "cached", "duration"}),
     "sweep_deadline": frozenset({"cancelled"}),
     "store_gc": frozenset({"orphans"}),
+    "graphcache_gc": frozenset({"orphans"}),
     "cache_hit": frozenset({"job", "experiment", "key"}),
     "job_start": frozenset({"job", "experiment", "key", "attempt"}),
     "job_finish": frozenset(

@@ -57,7 +57,7 @@ from typing import Sequence
 from repro import telemetry
 from repro.chaos import hooks as _chaos_hooks
 from repro.runner.events import EventLog, ProgressLine
-from repro.runner.jobs import JobSpec, accepts_seed, resolve_entrypoint
+from repro.runner.jobs import JobSpec, accepts_seed, graph_affinity, resolve_entrypoint
 from repro.runner.store import ResultStore, result_to_payload
 from repro.utils.prf import prf01
 
@@ -199,6 +199,11 @@ def _execute_job(job_doc: dict) -> dict:
             args=(hb_path, float(job_doc.get("heartbeat_interval", 1.0)), hb_stop),
             daemon=True,
         ).start()
+    graph_cache_root = job_doc.get("graph_cache")
+    if graph_cache_root is not None:
+        from repro.runner import graphcache as _graphcache
+
+        _graphcache.activate(graph_cache_root)
     profile = bool(job_doc.get("telemetry"))
     job_span = None
     if profile:
@@ -215,6 +220,14 @@ def _execute_job(job_doc: dict) -> dict:
             experiment=spec.experiment_id,
         )
         job_span.__enter__()
+    # Snapshot the graph-cache counters *after* any profiling reset so
+    # the per-job delta reported back to the scheduler is exact.  The
+    # metrics registry is always live, so this works without profiling.
+    gc_before = None
+    if graph_cache_root is not None:
+        from repro.runner.graphcache import counter_snapshot
+
+        gc_before = counter_snapshot()
     try:
         if chaos_doc:
             from repro.chaos.faults import apply_worker_fault
@@ -258,6 +271,15 @@ def _execute_job(job_doc: dict) -> dict:
         "worker": os.getpid(),
         "duration": time.perf_counter() - t0,
     }
+    if gc_before is not None:
+        from repro.runner.graphcache import counter_snapshot
+
+        gc_after = counter_snapshot()
+        res["graphcache"] = {
+            name[len("graphcache."):]: gc_after[name] - gc_before.get(name, 0)
+            for name in gc_after
+            if gc_after[name] - gc_before.get(name, 0)
+        }
     if profile:
         from repro import telemetry
 
@@ -288,6 +310,7 @@ def run_sweep(
     progress: ProgressLine | bool | None = None,
     mp_context=None,
     profile: bool = False,
+    graph_cache: str | os.PathLike | None = None,
 ) -> list[JobOutcome]:
     """Run ``specs`` through a worker pool; one outcome per spec, in
     input order.
@@ -330,6 +353,18 @@ def run_sweep(
         each worker opens a ``runner.job`` span parented to it, and
         worker spans/metrics are merged back into this process (see
         :mod:`repro.telemetry`).  Events carry the owning span ids.
+    graph_cache:
+        Directory of the shared compiled-graph bundle store
+        (:mod:`repro.runner.graphcache`).  Workers activate it before
+        running the job body, so graphs/schedules/plans are built once
+        per machine; jobs are grouped by graph affinity and
+        preferentially dispatched to workers that already have the
+        group's bundles mapped (best effort — the stdlib pool cannot
+        target a specific worker, but grouped submission plus the
+        workers' process-local bundle maps make the just-freed warm
+        worker the likely consumer).  Per-job hit/miss deltas are
+        aggregated into this process's ``graphcache.*`` counters and
+        the ``sweep_finish`` event.
     """
     workers = max(1, int(workers))
     retries = max(0, int(retries))
@@ -337,6 +372,17 @@ def run_sweep(
         events = EventLog()
     states = [_JobState(spec) for spec in specs]
     outcomes: dict[int, JobOutcome] = {}
+
+    if graph_cache is not None:
+        graph_cache = str(graph_cache)
+        for st in states:
+            st.job_doc["graph_cache"] = graph_cache
+            st.job_doc["affinity"] = graph_affinity(st.spec)
+    #: graph-affinity groups each live worker pid has already served
+    #: (its process-local bundle maps are warm for those groups).
+    worker_groups: dict[int, set[str]] = {}
+    gc_totals: dict[str, int] = {}
+    warm_dispatch = {"warm": 0, "cold": 0}
 
     sweep_span = None
     was_enabled = telemetry.enabled()
@@ -365,6 +411,14 @@ def run_sweep(
         orphans = store.gc_orphans()
         if orphans:
             events.emit("store_gc", orphans=len(orphans))
+    if graph_cache is not None:
+        # Same hygiene as the artifact store: staging dirs left behind
+        # by a killed bundle writer are dead weight, never valid data.
+        from repro.runner.graphcache import GraphCache
+
+        stale = GraphCache(graph_cache).gc()
+        if stale:
+            events.emit("graphcache_gc", orphans=len(stale))
     events.emit("sweep_start", jobs=len(states), workers=workers)
 
     if progress is False:
@@ -389,6 +443,17 @@ def run_sweep(
         else:
             pending.append(st)
 
+    if graph_cache is not None and pending:
+        # Affinity grouping: jobs that compile the same graphs run
+        # back-to-back, so by the time a group's second job is
+        # dispatched some worker already has the bundles mapped.
+        # Groups keep first-appearance order (dict insertion order), and
+        # jobs keep input order within a group.
+        groups: dict[str, list[_JobState]] = {}
+        for st in pending:
+            groups.setdefault(st.job_doc["affinity"], []).append(st)
+        pending = deque(st for grp in groups.values() for st in grp)
+
     index_of = {id(st): i for i, st in enumerate(states)}
     quarantine: deque[_JobState] = deque()
     in_flight: dict = {}
@@ -409,6 +474,7 @@ def run_sweep(
                 pass
         executor.shutdown(wait=False, cancel_futures=True)
         executor = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+        worker_groups.clear()  # every warm worker just died
 
     def _hb_path(st: _JobState) -> Path:
         return hb_dir / f"{st.key}.hb"
@@ -453,6 +519,12 @@ def run_sweep(
         payload = res["payload"]
         if store is not None:
             store.put(st.spec, payload)
+        if graph_cache is not None:
+            for name, delta in (res.get("graphcache") or {}).items():
+                gc_totals[name] = gc_totals.get(name, 0) + delta
+            affinity = st.job_doc.get("affinity")
+            if affinity is not None:
+                worker_groups.setdefault(res["worker"], set()).add(affinity)
         tele = res.get("telemetry")
         if tele is not None:
             # Merge the worker's snapshot into this process so exporters
@@ -558,6 +630,36 @@ def run_sweep(
                 to_quarantine=True,
             )
 
+    def _take_pending(now: float) -> _JobState | None:
+        """Pop the next ready pending job.  With a graph cache active,
+        prefer a job whose affinity group some live worker has already
+        served — that worker's bundle maps are warm, and with grouped
+        submission it is the likely consumer of the next slot.  Falls
+        back to the first ready job; keeps relative order otherwise."""
+        if graph_cache is not None and worker_groups:
+            warm = set().union(*worker_groups.values())
+            fallback = None
+            for idx, st in enumerate(pending):
+                if st.ready_at > now:
+                    continue
+                if st.job_doc["affinity"] in warm:
+                    del pending[idx]
+                    warm_dispatch["warm"] += 1
+                    return st
+                if fallback is None:
+                    fallback = idx
+            if fallback is None:
+                return None
+            st = pending[fallback]
+            del pending[fallback]
+            warm_dispatch["cold"] += 1
+            return st
+        for idx, st in enumerate(pending):
+            if st.ready_at <= now:
+                del pending[idx]
+                return st
+        return None
+
     def _enforce_deadline() -> bool:
         """Past the sweep deadline: stop the pool, fail everything
         unfinished with a terminal ``deadline`` attempt."""
@@ -592,14 +694,11 @@ def run_sweep(
                 if not in_flight and quarantine[0].ready_at <= now:
                     _submit(quarantine.popleft())
             else:
-                ready = deque()
                 while pending and len(in_flight) < workers:
-                    st = pending.popleft()
-                    if st.ready_at <= now:
-                        _submit(st)
-                    else:
-                        ready.append(st)
-                pending.extendleft(reversed(ready))
+                    st = _take_pending(now)
+                    if st is None:
+                        break
+                    _submit(st)
 
             if not in_flight:
                 nxt = min(
@@ -684,12 +783,28 @@ def run_sweep(
     n_ok = sum(1 for o in ordered if o.status == "ok")
     n_cached = sum(1 for o in ordered if o.cached)
     n_failed = sum(1 for o in ordered if not o.ok)
+    extra = {}
+    if graph_cache is not None:
+        if not profile:
+            # Without profiling the workers' metric registries never get
+            # merged back, so surface the per-job deltas here.  (With
+            # profiling they already arrived via telemetry ingestion —
+            # adding them again would double-count.)
+            reg = telemetry.metrics()
+            for name, delta in gc_totals.items():
+                reg.inc(f"graphcache.{name}", delta)
+        extra["graphcache"] = {
+            **{k: v for k, v in gc_totals.items() if "." not in k},
+            "affinity_warm": warm_dispatch["warm"],
+            "affinity_cold": warm_dispatch["cold"],
+        }
     events.emit(
         "sweep_finish",
         ok=n_ok,
         failed=n_failed,
         cached=n_cached,
         duration=round(time.monotonic() - t_sweep, 6),
+        **extra,
     )
     if sweep_span is not None:
         sweep_span.add("ok", n_ok)

@@ -45,14 +45,16 @@ __all__ = [
 BENCH_SCHEMA = 1
 
 #: The cheap structural experiments every perf run covers by default,
-#: plus the executor-bound I/O sweep (E9) at reduced parameters.
-DEFAULT_PERF_IDS = ("E1", "E2", "E3", "E9")
+#: plus the routing-certificate check (E4) and the executor-bound I/O
+#: sweep (E9) at reduced parameters.
+DEFAULT_PERF_IDS = ("E1", "E2", "E3", "E4", "E9")
 
 #: Reduced parameters used when measuring an experiment that would be
 #: too slow at its defaults.  ``run_perf`` falls back to these when the
 #: caller does not supply params for an id, so recorded baselines and
 #: CI comparisons agree on the workload.
 DEFAULT_PERF_PARAMS: dict[str, dict] = {
+    "E4": {"k_max": 2},
     "E9": {"r_max": 4, "cache_sizes": (12, 48), "r_big": None},
 }
 
