@@ -1,0 +1,113 @@
+"""Daemon cold/warm timing: the resident service vs a cold sweep.
+
+The service exists so a *repeated* grid costs a socket round trip
+instead of a process pool: the first submission dispatches to warm
+workers, the resubmission is answered entirely from the result store
+(``service.hit_no_worker``) without waking a worker.  This bench runs
+the E9 smoke grid through a real daemon both ways and records the
+ratio in ``BENCH_service.json`` — the acceptance floor is a 3x warm
+speedup, which in practice is two to three orders of magnitude.
+
+Two entry points:
+
+- ``pytest benchmarks/bench_service.py`` — asserts the speedup floor;
+- ``python benchmarks/bench_service.py [--out PATH]`` — standalone run
+  that (re)writes the committed baseline artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runner import expand_grid
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+#: The E9 smoke grid: small enough for CI, wide enough that the cold
+#: pass genuinely exercises workers, graph bundles and the shm tier.
+E9_GRID = {"r_max": [3, 4], "cache_sizes": [[12, 24], [12, 24, 48]],
+           "r_big": [None]}
+
+SPEEDUP_FLOOR = 3.0
+
+
+def measure(workers: int = 2) -> dict:
+    """Cold submit vs warm resubmit of the E9 smoke grid, one daemon."""
+    scratch = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    config = ServiceConfig(
+        socket_path=str(scratch / "svc.sock"),
+        cache_dir=str(scratch / "cache"),
+        graph_cache=str(scratch / "graphs"),
+        workers=workers,
+    )
+    specs = expand_grid("E9", E9_GRID)
+    try:
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                t0 = time.perf_counter()
+                cold = client.submit(specs)
+                cold_s = time.perf_counter() - t0
+                t1 = time.perf_counter()
+                warm = client.submit(specs)
+                warm_s = time.perf_counter() - t1
+                status = client.status()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    assert cold["ok"] == len(specs), f"cold pass failed: {cold}"
+    assert cold["dispatched"] == len(specs)
+    assert warm["ok"] == len(specs), f"warm pass failed: {warm}"
+    assert warm["dispatched"] == 0, "warm resubmission woke a worker"
+    assert warm["hits"] == len(specs)
+    return {
+        "schema": 1,
+        "experiment": "service",
+        "grid": {k: v for k, v in sorted(E9_GRID.items())},
+        "jobs": len(specs),
+        "workers": workers,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2),
+        "hit_no_worker": status["hit_no_worker"],
+        "counters": {
+            name: value
+            for name, value in sorted(status["counters"].items())
+            if name.startswith(("service.", "graphcache."))
+        },
+    }
+
+
+def test_warm_resubmission_speedup():
+    doc = measure()
+    assert doc["hit_no_worker"] == doc["jobs"]
+    assert doc["speedup"] >= SPEEDUP_FLOOR, (
+        f"warm E9 resubmission only {doc['speedup']}x faster "
+        f"(cold {doc['cold_s']}s, warm {doc['warm_s']}s)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_service.json",
+        help="baseline artifact path (default: %(default)s)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+    doc = measure(workers=args.workers)
+    blob = json.dumps(doc, sort_keys=True, indent=2) + "\n"
+    Path(args.out).write_text(blob, encoding="utf-8")
+    print(blob, end="")
+    if doc["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup {doc['speedup']}x < {SPEEDUP_FLOOR}x floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

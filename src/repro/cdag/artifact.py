@@ -314,9 +314,9 @@ def active_cache():
         root = os.environ.get(ENV_VAR)
         if root:
             try:
-                from repro.runner.graphcache import GraphCache
+                from repro.runner.graphcache import activate
 
-                set_active_cache(GraphCache(root))
+                activate(root, shm_root=os.environ.get("REPRO_SHM_LEDGER"))
             except Exception:
                 # A bad env var must never break graph building.
                 pass

@@ -32,6 +32,7 @@ killed process left behind.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import math
@@ -39,6 +40,11 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Iterator, Mapping
+
+try:  # advisory cross-process locking; absent off-POSIX (lock is a no-op)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.chaos import hooks as _chaos_hooks
 from repro.experiments.harness import ExperimentResult
@@ -60,6 +66,11 @@ SCHEMA_VERSION = 2
 
 #: Directory (under the store root) holding quarantined artifacts.
 QUARANTINE_DIR = "corrupt"
+
+#: Root-level advisory lock file serialising mutations (publication,
+#: quarantine, temp-file GC) across processes — a daemon and an ad-hoc
+#: ``repro sweep`` can share one cache directory without racing.
+LOCK_FILE = ".lock"
 
 
 def _jsonify(value):
@@ -160,6 +171,25 @@ class ResultStore:
     def path_for(self, spec: JobSpec) -> Path:
         return self.root / spec.experiment_id / f"{spec.cache_key}.json"
 
+    @contextlib.contextmanager
+    def _lock(self):
+        """Hold the store's advisory ``flock`` (exclusive).
+
+        ``flock`` is released by the kernel when the holder dies, so a
+        SIGKILL mid-mutation can never deadlock the store — the next
+        writer just sees whatever atomic state the victim left behind.
+        No-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        fd = os.open(self.root / LOCK_FILE, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the fd drops the lock
+
     @property
     def quarantine_root(self) -> Path:
         return self.root / QUARANTINE_DIR
@@ -183,7 +213,7 @@ class ResultStore:
             # A *complete-but-undecodable* file is corruption, not a
             # plain miss: quarantine it so it is never re-read and the
             # evidence survives for post-mortem.
-            self.quarantine(path, "undecodable")
+            self.quarantine(path, "undecodable", spec=spec)
             return None
         if (
             not isinstance(artifact, dict)
@@ -192,29 +222,56 @@ class ResultStore:
         ):
             return None
         if artifact.get("sha256") != payload_checksum(artifact.get("result")):
-            self.quarantine(path, "checksum")
+            self.quarantine(path, "checksum", spec=spec)
             return None
         return artifact
 
-    def quarantine(self, path: Path, reason: str) -> Path | None:
+    def _verifies(self, path: Path, spec: JobSpec) -> bool:
+        """True when the file at ``path`` is a well-formed, checksummed
+        artifact for ``spec`` (used under the lock to re-check before
+        quarantining)."""
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return False
+        return (
+            isinstance(artifact, dict)
+            and artifact.get("schema") == SCHEMA_VERSION
+            and artifact.get("key") == spec.cache_key
+            and artifact.get("sha256") == payload_checksum(artifact.get("result"))
+        )
+
+    def quarantine(
+        self, path: Path, reason: str, spec: JobSpec | None = None
+    ) -> Path | None:
         """Move a corrupt artifact under ``<root>/corrupt/`` (never
         raises; falls back to deletion, then to leaving it in place).
-        Returns the quarantined path, or None if the move failed."""
-        dest = None
-        try:
-            self.quarantine_root.mkdir(parents=True, exist_ok=True)
-            dest = self.quarantine_root / path.name
-            n = 0
-            while dest.exists():
-                n += 1
-                dest = self.quarantine_root / f"{path.stem}.{n}{path.suffix}"
-            os.replace(path, dest)
-        except OSError:
+        Returns the quarantined path, or None if the move failed.
+
+        When ``spec`` is given the file is re-verified *under the store
+        lock* first: between the caller's bad read and this call a
+        concurrent writer may have replaced the file with a good
+        artifact, and quarantining that would throw away fresh work.
+        """
+        with self._lock():
+            if spec is not None and self._verifies(path, spec):
+                return None  # healed by a concurrent publisher
             dest = None
             try:
-                path.unlink()
+                self.quarantine_root.mkdir(parents=True, exist_ok=True)
+                dest = self.quarantine_root / path.name
+                n = 0
+                while dest.exists():
+                    n += 1
+                    dest = self.quarantine_root / f"{path.stem}.{n}{path.suffix}"
+                os.replace(path, dest)
             except OSError:
-                pass
+                dest = None
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         _count_detection(reason)
         _count_recovery("quarantined")
         return dest
@@ -238,19 +295,24 @@ class ResultStore:
         blob = json.dumps(artifact, sort_keys=True, indent=2, allow_nan=False) + "\n"
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
+        # The lock covers mkstemp through replace: a concurrent
+        # ``gc_orphans`` can never mistake this in-flight temp file for
+        # an orphan, and concurrent publishers of one key serialise
+        # (last replace wins; both wrote identical canonical bytes).
+        with self._lock():
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         mk = _chaos_hooks.active
         if mk is not None:
             mk.corrupt_artifact(path, spec.cache_key)
@@ -290,17 +352,21 @@ class ResultStore:
         """Remove ``.tmp-*.json`` files a killed process left behind.
 
         Atomic writes go through a same-directory temp file; a SIGKILL
-        between ``mkstemp`` and ``os.replace`` orphans it.  Run at
-        sweep startup (no writer is active then); returns the removed
+        between ``mkstemp`` and ``os.replace`` orphans it.  Runs under
+        the store lock, so a *live* writer's in-flight temp file (the
+        daemon publishing while an ad-hoc sweep starts up) is never
+        collected — only files whose writer is past ``os.replace`` or
+        dead remain visible once the lock is held.  Returns the removed
         paths.
         """
         removed = []
-        for path in sorted(self.root.glob("*/.tmp-*.json")):
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            removed.append(path)
+        with self._lock():
+            for path in sorted(self.root.glob("*/.tmp-*.json")):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed.append(path)
         if removed:
             _count_detection("orphan_tmp")
             _count_recovery("orphans_removed")

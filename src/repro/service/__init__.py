@@ -1,0 +1,53 @@
+"""Long-lived sweep service: daemon, warm worker pool, shared-memory tier.
+
+``repro serve`` turns the batch sweep runner into a resident service:
+
+- an **asyncio front end** over a local unix socket speaking
+  newline-delimited JSON (:mod:`repro.service.protocol`,
+  :mod:`repro.service.server`) — clients submit sweep job specs and
+  stream structured events back;
+- **store fast path** — a job whose artifact is already in the
+  content-addressed :class:`~repro.runner.store.ResultStore` is answered
+  *without touching a worker* (counted as ``service.hit_no_worker``);
+- a **resident warm worker pool** (:mod:`repro.service.workers`) whose
+  processes pre-import the experiment registry and pre-attach the graph
+  bundle cache, with the affinity-aware dispatch of the batch scheduler;
+- a **shared-memory hot tier** (:mod:`repro.service.shm`) in front of
+  the graph-bundle cache, so every resident worker maps one physical
+  copy of each CDAG / schedule / executor plan;
+- **admission control** — a bounded queue plus per-client in-flight
+  quotas; overload is answered with a backpressure response, never with
+  an unbounded queue;
+- **graceful drain** — SIGTERM finishes in-flight jobs, journals the
+  final state, unlinks every shared-memory segment, and exits 0.
+
+The thin synchronous client (:class:`~repro.service.client.ServiceClient`,
+``repro submit``) is what the CLI, tests and CI use.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_line,
+    doc_to_spec,
+    encode,
+    spec_to_doc,
+)
+from repro.service.server import ServiceConfig, ServiceThread, SweepService, serve
+from repro.service.shm import ShmTier
+from repro.service.workers import WarmPool
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "ShmTier",
+    "SweepService",
+    "WarmPool",
+    "decode_line",
+    "doc_to_spec",
+    "encode",
+    "serve",
+    "spec_to_doc",
+]

@@ -1,0 +1,211 @@
+"""Thin synchronous client for the sweep daemon.
+
+One :class:`ServiceClient` is one unix-socket connection speaking the
+NDJSON protocol of :mod:`repro.service.protocol`.  It is what
+``repro submit`` and the tests use; anything it can do, a ten-line
+script with ``socket`` and ``json`` can do too — that is the point of
+the protocol.
+
+The client is blocking and single-threaded: requests are answered in
+order on the one connection.  For concurrent submissions open one
+client per thread/process (connections are cheap; the daemon
+multiplexes).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import ProtocolError, ServiceError
+from repro.runner.jobs import JobSpec
+from repro.service import protocol
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking NDJSON client for one daemon socket."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        client_id: str | None = None,
+        timeout: float | None = 300.0,
+        connect_timeout: float = 5.0,
+    ):
+        self.socket_path = str(socket_path)
+        self.client_id = client_id
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self.server_info: dict = {}
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach daemon at {self.socket_path}: {exc}"
+            ) from exc
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._send({"op": "hello", "client": self.client_id,
+                    "protocol": protocol.PROTOCOL_VERSION})
+        welcome = self._recv()
+        if welcome.get("op") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome!r}")
+        self.server_info = welcome
+        self.client_id = welcome.get("client", self.client_id)
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            with contextlib.suppress(OSError):
+                self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _send(self, msg: Mapping) -> None:
+        self.connect()
+        try:
+            self._sock.sendall(protocol.encode(msg))
+        except OSError as exc:
+            raise ServiceError(f"daemon connection lost: {exc}") from exc
+
+    def _recv(self) -> dict:
+        try:
+            line = self._rfile.readline(protocol.MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise ServiceError(f"daemon connection lost: {exc}") from exc
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        if len(line) > protocol.MAX_LINE_BYTES:
+            raise ProtocolError("daemon sent an oversized line")
+        return protocol.decode_line(line)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """True when a daemon answers on the socket."""
+        try:
+            self._send({"op": "ping"})
+            return self._recv().get("op") == "pong"
+        except (ServiceError, ProtocolError):
+            return False
+
+    def status(self) -> dict:
+        self._send({"op": "status"})
+        msg = self._recv()
+        if msg.get("op") != "status":
+            raise ProtocolError(f"expected status, got {msg!r}")
+        return msg
+
+    def drain(self) -> None:
+        """Ask the daemon to drain and exit (equivalent to SIGTERM)."""
+        self._send({"op": "drain"})
+        msg = self._recv()
+        if msg.get("op") != "draining":
+            raise ProtocolError(f"expected draining ack, got {msg!r}")
+
+    def submit(
+        self,
+        specs: Iterable[JobSpec],
+        *,
+        fresh: bool = False,
+        wait: bool = True,
+        on_message: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Submit job specs; returns the terminal summary.
+
+        The summary carries ``jobs``/``hits``/``dispatched``/
+        ``coalesced``/``rejected``/``ok``/``failed`` counts plus a
+        ``results`` list of every per-job message (``result`` /
+        ``rejected``) in arrival order.  ``on_message`` sees each
+        message as it arrives (progress streaming).
+        """
+        specs = list(specs)
+        self._send({
+            "op": "submit",
+            "jobs": [protocol.spec_to_doc(s) for s in specs],
+            "fresh": fresh,
+            "wait": wait,
+        })
+        results: list[dict] = []
+        while True:
+            msg = self._recv()
+            op = msg.get("op")
+            if on_message is not None:
+                on_message(msg)
+            if op == "done":
+                summary = dict(msg.get("summary") or {})
+                summary["results"] = results
+                return summary
+            if op in ("result", "rejected"):
+                results.append(msg)
+            elif op == "accepted":
+                continue
+            elif op == "error":
+                raise ServiceError(f"daemon rejected request: {msg.get('error')}")
+            else:
+                raise ProtocolError(f"unexpected message during submit: {msg!r}")
+
+    def events(
+        self, *, replay: bool = True, follow: bool = False
+    ) -> Iterator[dict]:
+        """Stream journal records: full replay first (when ``replay``),
+        then — with ``follow`` — the live tail until the daemon stops.
+
+        Consumes the connection: the ``events`` op is terminal on a
+        connection, so use a dedicated client for tailing.
+        """
+        self._send({"op": "events", "replay": replay, "follow": follow})
+        while True:
+            try:
+                msg = self._recv()
+            except ServiceError:
+                return  # daemon stopped: the stream is over
+            op = msg.get("op")
+            if op == "event":
+                yield msg["record"]
+            elif op == "done":
+                return
+            elif op == "error":
+                raise ServiceError(f"daemon rejected request: {msg.get('error')}")
+            else:
+                raise ProtocolError(f"unexpected message in event stream: {msg!r}")
+
+
+def _main_example() -> None:  # pragma: no cover - doc helper
+    """Minimal raw-socket client (the protocol really is this dumb)."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect("/tmp/repro.sock")
+    sock.sendall(b'{"op": "hello"}\n')
+    sock.sendall(b'{"op": "submit", "jobs": [{"experiment": "E1"}]}\n')
+    for line in sock.makefile("rb"):
+        print(json.loads(line))

@@ -1,0 +1,102 @@
+"""Wire protocol of the sweep service: newline-delimited JSON.
+
+One message is one JSON object on one ``\\n``-terminated line, always
+carrying an ``op`` field.  The protocol is deliberately dumb — framing
+is ``readline()``, encoding is canonical ``json.dumps`` — so a client
+can be ten lines of any language, and the daemon's own event journal
+and the wire stream share one record shape.
+
+Client → server ops:
+
+- ``hello``   — ``{"op", "client", "protocol"}``; must be first.
+- ``submit``  — ``{"op", "jobs": [job doc, ...], "fresh"?, "wait"?}``;
+  each job doc is :func:`spec_to_doc` of a
+  :class:`~repro.runner.jobs.JobSpec`.
+- ``events``  — ``{"op", "replay"?, "follow"?}``; subscribe to the
+  journal stream.
+- ``status``  — queue depth, workers, counters.
+- ``drain``   — ask the daemon to drain and exit (same as SIGTERM).
+- ``ping``    — liveness probe.
+
+Server → client ops: ``welcome``, ``accepted``, ``rejected``,
+``result``, ``done``, ``event``, ``status``, ``pong``, ``draining`` and
+``error``.  ``rejected`` is *admission control* (backpressure, quota,
+drain) and names its ``reason``; ``error`` is a malformed request.
+
+Every ``submit`` is answered per job — ``result`` with
+``source: "store"`` for a cache hit served without a worker,
+``accepted`` then a later ``result`` with ``source: "worker"`` for a
+dispatch — then one terminal ``done`` carrying the summary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.errors import ProtocolError
+from repro.runner.jobs import JobSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "encode",
+    "decode_line",
+    "spec_to_doc",
+    "doc_to_spec",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (covers any realistic result
+#: payload; a peer streaming garbage is cut off, not buffered forever).
+MAX_LINE_BYTES = 32 << 20
+
+
+def encode(msg: Mapping) -> bytes:
+    """One protocol message as a ``\\n``-terminated JSON line."""
+    if "op" not in msg:
+        raise ProtocolError(f"outgoing message lacks 'op': {dict(msg)!r}")
+    return (json.dumps(msg, sort_keys=True, allow_nan=False) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line; raises :class:`ProtocolError` on
+    anything that is not a single JSON object with an ``op``."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty protocol line")
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"undecodable protocol line: {line[:120]!r}") from exc
+    if not isinstance(msg, dict) or not isinstance(msg.get("op"), str):
+        raise ProtocolError(f"protocol message lacks a string 'op': {line[:120]!r}")
+    return msg
+
+
+def spec_to_doc(spec: JobSpec) -> dict:
+    """Serialise a job spec for the wire (the canonical description,
+    so client and server agree on the cache key by construction)."""
+    return spec.describe()
+
+
+def doc_to_spec(doc: Mapping) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from a wire job doc."""
+    if not isinstance(doc, Mapping):
+        raise ProtocolError(f"job doc must be an object, got {type(doc).__name__}")
+    experiment = doc.get("experiment") or doc.get("experiment_id")
+    if not isinstance(experiment, str) or not experiment:
+        raise ProtocolError(f"job doc lacks an experiment id: {dict(doc)!r}")
+    params = doc.get("params") or {}
+    if not isinstance(params, Mapping):
+        raise ProtocolError(f"job params must be an object: {params!r}")
+    seed = doc.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        raise ProtocolError(f"job seed must be an integer or null: {seed!r}")
+    entrypoint = doc.get("entrypoint")
+    if entrypoint is not None and not isinstance(entrypoint, str):
+        raise ProtocolError(f"job entrypoint must be a string or null: {entrypoint!r}")
+    return JobSpec(experiment, dict(params), seed=seed, entrypoint=entrypoint)

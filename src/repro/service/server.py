@@ -1,0 +1,890 @@
+"""The sweep daemon: asyncio front end, dispatcher, admission, drain.
+
+``repro serve`` runs one :class:`SweepService` in the foreground.  The
+service binds a unix socket, speaks the NDJSON protocol of
+:mod:`repro.service.protocol`, and owns four pieces of state:
+
+- the **result store** (:class:`~repro.runner.store.ResultStore`) —
+  submissions whose artifact already exists are answered directly from
+  disk, counted as ``service.hit_no_worker``, and never touch a worker;
+- the **warm pool** (:class:`~repro.service.workers.WarmPool`) — misses
+  are queued and dispatched to resident pre-warmed workers, preferring
+  jobs whose graph-affinity group some live worker has already served;
+- the **journal** — every scheduler decision is one JSONL record with a
+  monotonically increasing ``seq``; the journal file doubles as the
+  replay source, so a client that attaches mid-run receives the full
+  history (healed via :meth:`EventLog.recover` across daemon restarts)
+  followed by the live tail, gap-free and duplicate-free;
+- the **shared-memory tier** (:class:`~repro.service.shm.ShmTier`) —
+  garbage-collected at startup and unlinked at drain, so segments never
+  outlive the daemon, even ones a crashed worker leaked.
+
+Admission control is explicit: at most ``queue_limit`` jobs queued or
+running overall and ``client_quota`` outstanding per client; past
+either, ``submit`` is answered with ``rejected`` (reason
+``queue_full`` / ``quota``) rather than queued — callers are expected
+to back off and resubmit.  Identical in-flight submissions coalesce on
+the cache key, so N clients asking for one job cost one dispatch.
+
+Graceful drain (SIGTERM, SIGINT, or the ``drain`` op): stop admitting,
+fail whatever is still queued with reason ``draining``, let in-flight
+jobs finish (bounded by ``drain_grace``, after which the pool is torn
+down and stragglers are failed), journal ``service_drain`` /
+``service_stop``, unlink every shared-memory segment, close the socket,
+remove the socket file, exit 0.
+
+The service relies on chaos hooks only at the same three sites as the
+batch scheduler (worker faults via the job doc, store faults after
+``put``); arm log-kill faults against a *batch* sweep, not a daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro import telemetry
+from repro.chaos import hooks as _chaos_hooks
+from repro.errors import ProtocolError, ServiceError
+from repro.runner.events import EventLog, read_events
+from repro.runner.jobs import JobSpec, graph_affinity
+from repro.runner.pool import CHARGED_KINDS, _retry_delay
+from repro.runner.store import ResultStore
+from repro.service import protocol
+from repro.service.shm import DEFAULT_MAX_BYTES, ShmTier
+from repro.service.workers import WarmPool
+
+__all__ = ["ServiceConfig", "SweepService", "ServiceThread", "serve"]
+
+_TICK = 0.02  # dispatcher poll interval, seconds
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a daemon needs to come up."""
+
+    socket_path: str
+    cache_dir: str = ".repro-cache"
+    workers: int = 2
+    graph_cache: str | None = None
+    #: shared-memory hot tier: None disables; "auto" roots the ledger
+    #: under the graph cache (or the cache dir when no graph cache).
+    shm_root: str | None = "auto"
+    shm_bytes: int = DEFAULT_MAX_BYTES
+    queue_limit: int = 64
+    client_quota: int = 16
+    retries: int = 1
+    backoff: float = 0.25
+    timeout: float | None = None
+    drain_grace: float = 30.0
+    events_path: str | None = None
+    history_limit: int = 20000
+    mp_context: object | None = field(default=None, repr=False)
+
+    def resolved_events_path(self) -> str:
+        return self.events_path or str(Path(self.cache_dir) / "service-events.jsonl")
+
+    def resolved_shm_root(self) -> str | None:
+        if self.shm_root is None:
+            return None
+        if self.shm_root != "auto":
+            return str(self.shm_root)
+        base = self.graph_cache if self.graph_cache is not None else self.cache_dir
+        return str(Path(base) / "shm")
+
+
+class _Journal(EventLog):
+    """Event log with per-record ``seq`` and live fan-out.
+
+    ``subscribe()`` atomically snapshots the replay history and
+    registers a queue for everything emitted afterwards; because both
+    happen on the event loop with no await in between, a subscriber can
+    neither miss a record nor see one twice.
+    """
+
+    def __init__(self, path: str, history: list[dict], limit: int):
+        super().__init__(path)
+        self.history = list(history)
+        self.first_seq = history[0].get("seq", 1) if history else 1
+        self._seq = max((int(r.get("seq", 0)) for r in history), default=0)
+        self._limit = max(1, int(limit))
+        self._subscribers: list[asyncio.Queue] = []
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    def emit(self, event: str, **fields) -> dict:
+        self._seq += 1
+        record = super().emit(event, seq=self._seq, **fields)
+        self.history.append(record)
+        if len(self.history) > self._limit:
+            del self.history[: len(self.history) - self._limit]
+            self.first_seq = self.history[0].get("seq", self._seq)
+        for q in list(self._subscribers):
+            q.put_nowait(record)
+        return record
+
+    def subscribe(self, replay: bool) -> tuple[list[dict], asyncio.Queue]:
+        q: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(q)
+        return (list(self.history) if replay else [], q)
+
+    def unsubscribe(self, q: asyncio.Queue) -> None:
+        with contextlib.suppress(ValueError):
+            self._subscribers.remove(q)
+
+
+class _Entry:
+    """One admitted job: queued, running, retried, then terminal."""
+
+    __slots__ = (
+        "spec", "key", "affinity", "client", "job_doc", "status",
+        "attempts", "charged_failures", "ready_at", "started_at",
+        "future", "waiters",
+    )
+
+    def __init__(self, spec: JobSpec, client: str):
+        self.spec = spec
+        self.key = spec.cache_key
+        self.affinity = graph_affinity(spec)
+        self.client = client
+        self.job_doc = {
+            "experiment_id": spec.experiment_id,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "entrypoint": spec.entrypoint,
+            "affinity": self.affinity,
+        }
+        self.status = "queued"
+        self.attempts: list[dict] = []
+        self.charged_failures = 0
+        self.ready_at = 0.0
+        self.started_at: float | None = None
+        self.future = None
+        #: queues of waiting submit requests (first is the admitting one).
+        self.waiters: list[asyncio.Queue] = []
+
+    def label(self) -> str:
+        return self.spec.label
+
+
+class SweepService:
+    """The daemon.  Create, then :meth:`run` (foreground) or drive it
+    from :class:`ServiceThread` (tests, embedding)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.store = ResultStore(config.cache_dir)
+        shm_root = config.resolved_shm_root()
+        self.shm = (
+            ShmTier(shm_root, max_bytes=config.shm_bytes)
+            if shm_root is not None
+            else None
+        )
+        self.pool = WarmPool(
+            config.workers,
+            graph_cache=config.graph_cache,
+            shm_root=shm_root,
+            mp_context=config.mp_context,
+        )
+        self.journal: _Journal | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: list[_Entry] = []
+        self._inflight: dict[str, _Entry] = {}
+        self._entries: dict[str, _Entry] = {}  # every non-terminal entry
+        self._client_outstanding: dict[str, int] = {}
+        self._draining = False
+        self._drain_started: float | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closing: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._started_at = 0.0
+        self._jobs_done = 0
+        self._next_client = 0
+        self.exit_code = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._closing = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._started_at = time.monotonic()
+        events_path = self.config.resolved_events_path()
+        EventLog.recover(events_path)
+        history: list[dict] = []
+        if Path(events_path).exists():
+            history, _bad = read_events(events_path, strict=False)
+        self.journal = _Journal(events_path, history, self.config.history_limit)
+        orphans = self.store.gc_orphans()
+        if orphans:
+            self.journal.emit("store_gc", orphans=len(orphans))
+        if self.shm is not None:
+            self.shm.gc()
+        sock = Path(self.config.socket_path)
+        sock.parent.mkdir(parents=True, exist_ok=True)
+        if sock.exists():
+            # A live daemon answers pings; a dead one left a stale file.
+            if await self._socket_is_live(str(sock)):
+                raise ServiceError(f"another daemon is serving on {sock}")
+            sock.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(sock),
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self.journal.emit(
+            "service_start",
+            socket=str(sock),
+            workers=self.pool.workers,
+            pid=os.getpid(),
+        )
+
+    @staticmethod
+    async def _socket_is_live(path: str) -> bool:
+        try:
+            reader, writer = await asyncio.open_unix_connection(path)
+        except OSError:
+            return False
+        try:
+            writer.write(protocol.encode({"op": "ping"}))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=1.0)
+            return bool(line)
+        except OSError:
+            return False
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            writer.close()
+
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code."""
+        await self.start()
+        await self._stopped.wait()
+        return self.exit_code
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (threadsafe; signal handlers and
+        :class:`ServiceThread` call this from outside the loop)."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._begin_drain)
+
+    def _begin_drain(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_started = time.monotonic()
+        self.journal.emit(
+            "service_drain", queued=len(self._queue), inflight=len(self._inflight)
+        )
+        # Queued-but-not-started jobs are failed fast: drain means
+        # "finish what is running", not "finish the backlog".
+        for entry in self._queue:
+            self._resolve(entry, {
+                "op": "result", "key": entry.key, "job": entry.label(),
+                "status": "failed", "source": "drain",
+                "error": "service draining",
+            })
+            self.journal.emit(
+                "job_failed", job=entry.label(),
+                experiment=entry.spec.experiment_id, key=entry.key,
+                attempts=len(entry.attempts), reason="service draining",
+            )
+        self._queue.clear()
+        self._gauge_queue()
+
+    async def _shutdown(self) -> None:
+        duration = round(time.monotonic() - self._started_at, 6)
+        self.journal.emit("service_stop", duration=duration)
+        # _closing wakes event tailers (they flush their queues — the
+        # service_stop record just emitted included — and return) and
+        # unparks idle readers, so connections wind down on their own;
+        # cancellation below is only the backstop for a stuck writer.
+        self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(OSError):
+                await self._server.wait_closed()
+        if self._conn_tasks:
+            _done, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self.pool.shutdown(wait=False)
+        if self.shm is not None:
+            self.shm.drain()
+        self.journal.close()
+        with contextlib.suppress(OSError):
+            Path(self.config.socket_path).unlink()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    def _metrics(self):
+        return telemetry.metrics()
+
+    def _gauge_queue(self) -> None:
+        self._metrics().gauge("service.queue_depth").set(len(self._queue))
+
+    def _take_queued(self, now: float) -> _Entry | None:
+        """Next ready queued entry, preferring warm graph affinity
+        (the batch scheduler's ``_take_pending`` discipline)."""
+        warm = self.pool.warm_affinities()
+        fallback = None
+        for idx, entry in enumerate(self._queue):
+            if entry.ready_at > now:
+                continue
+            if warm and entry.affinity in warm:
+                del self._queue[idx]
+                self._metrics().inc("service.dispatch_warm")
+                return entry
+            if fallback is None:
+                fallback = idx
+        if fallback is None:
+            return None
+        entry = self._queue.pop(fallback)
+        if warm:
+            self._metrics().inc("service.dispatch_cold")
+        return entry
+
+    def _launch(self, entry: _Entry) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        mk = _chaos_hooks.active
+        if mk is not None:
+            mk.prepare_job(entry.job_doc, entry.key, entry.charged_failures + 1)
+        try:
+            entry.future = self.pool.submit(dict(entry.job_doc))
+        except BrokenProcessPool:
+            self.pool.rebuild()
+            entry.ready_at = time.monotonic()
+            self._queue.append(entry)
+            return
+        entry.status = "running"
+        entry.started_at = time.monotonic()
+        self._inflight[entry.key] = entry
+        self.journal.emit(
+            "job_start", job=entry.label(),
+            experiment=entry.spec.experiment_id, key=entry.key,
+            attempt=len(entry.attempts) + 1,
+        )
+
+    def _resolve(self, entry: _Entry, message: dict) -> None:
+        """Deliver the terminal message to every waiter and release the
+        entry's admission bookkeeping."""
+        entry.status = "done"
+        self._entries.pop(entry.key, None)
+        outstanding = self._client_outstanding
+        outstanding[entry.client] = max(0, outstanding.get(entry.client, 1) - 1)
+        for q in entry.waiters:
+            q.put_nowait(message)
+        entry.waiters.clear()
+
+    def _charge(self, entry: _Entry, kind: str, reason: str) -> None:
+        entry.attempts.append({"index": len(entry.attempts) + 1, "kind": kind,
+                               "error": reason})
+        if kind in CHARGED_KINDS:
+            entry.charged_failures += 1
+        if entry.charged_failures > self.config.retries:
+            self.journal.emit(
+                "job_failed", job=entry.label(),
+                experiment=entry.spec.experiment_id, key=entry.key,
+                attempts=len(entry.attempts), reason=reason,
+            )
+            self._resolve(entry, {
+                "op": "result", "key": entry.key, "job": entry.label(),
+                "status": "failed", "source": "worker", "error": reason,
+                "attempts": list(entry.attempts),
+            })
+            return
+        delay = (
+            _retry_delay(entry.key, entry.charged_failures,
+                         self.config.backoff, jitter=True)
+            if kind in CHARGED_KINDS
+            else 0.0
+        )
+        entry.status = "queued"
+        entry.ready_at = time.monotonic() + delay
+        self._queue.append(entry)
+        self.journal.emit(
+            "job_retry", job=entry.label(),
+            experiment=entry.spec.experiment_id, key=entry.key,
+            attempt=len(entry.attempts), kind=kind, reason=reason,
+            backoff=round(delay, 6),
+        )
+        self._gauge_queue()
+
+    def _finish(self, entry: _Entry) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        self._inflight.pop(entry.key, None)
+        try:
+            res = entry.future.result(timeout=0)
+        except BrokenProcessPool:
+            self.pool.rebuild()
+            # The stdlib cannot say which in-flight job crashed; the
+            # daemon charges the one whose future broke and requeues the
+            # rest uncharged (they were collateral).
+            for other in list(self._inflight.values()):
+                self._inflight.pop(other.key, None)
+                self._charge(other, "pool-lost", "worker pool crashed")
+            self._charge(entry, "crash", "worker process crashed")
+            return
+        except BaseException as exc:
+            self._charge(entry, "error", f"{type(exc).__name__}: {exc}")
+            return
+        entry.attempts.append({
+            "index": len(entry.attempts) + 1, "kind": "ok",
+            "duration": res["duration"], "worker": res["worker"],
+        })
+        self.store.put(entry.spec, res["payload"])
+        self.pool.note_served(res["worker"], entry.affinity)
+        self._jobs_done += 1
+        registry = self._metrics()
+        registry.inc("service.dispatched")
+        # Workers report per-job graph-cache deltas (incl. shm-tier
+        # hits); fold them into the daemon's counters so `status` shows
+        # machine-wide cache behaviour.
+        for name, delta in (res.get("graphcache") or {}).items():
+            registry.inc(f"graphcache.{name}", delta)
+        self.journal.emit(
+            "job_finish", job=entry.label(),
+            experiment=entry.spec.experiment_id, key=entry.key,
+            attempt=len(entry.attempts), duration=round(res["duration"], 6),
+            worker=res["worker"],
+        )
+        self._resolve(entry, {
+            "op": "result", "key": entry.key, "job": entry.label(),
+            "status": "ok", "source": "worker", "payload": res["payload"],
+            "duration": res["duration"], "worker": res["worker"],
+        })
+
+    def _enforce_timeout(self, now: float) -> None:
+        timeout = self.config.timeout
+        if timeout is None or not self._inflight:
+            return
+        overdue = [
+            e for e in self._inflight.values()
+            if e.started_at is not None and now - e.started_at > timeout
+        ]
+        if not overdue:
+            return
+        survivors = [
+            e for e in self._inflight.values() if e not in overdue
+        ]
+        self._inflight.clear()
+        self.pool.rebuild()
+        for entry in overdue:
+            self._charge(
+                entry, "timeout", f"exceeded per-job timeout of {timeout:g}s"
+            )
+        for entry in survivors:
+            self._charge(
+                entry, "pool-lost",
+                "worker pool recycled to enforce a timeout on another job",
+            )
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            for entry in [e for e in self._inflight.values()
+                          if e.future is not None and e.future.done()]:
+                self._finish(entry)
+            self._enforce_timeout(time.monotonic())
+            if not self._draining:
+                while self._queue and len(self._inflight) < self.pool.workers:
+                    entry = self._take_queued(now)
+                    if entry is None:
+                        break
+                    self._launch(entry)
+                    self._gauge_queue()
+            else:
+                if not self._inflight:
+                    await self._shutdown()
+                    return
+                if (
+                    self._drain_started is not None
+                    and time.monotonic() - self._drain_started
+                    > self.config.drain_grace
+                ):
+                    # Grace exhausted: give up on stragglers so drain
+                    # still terminates (they are failed, not lost).
+                    stuck = list(self._inflight.values())
+                    self._inflight.clear()
+                    self.pool.rebuild()
+                    for entry in stuck:
+                        entry.charged_failures = self.config.retries + 1
+                        self._charge(
+                            entry, "timeout",
+                            f"drain grace of {self.config.drain_grace:g}s "
+                            f"exceeded",
+                        )
+            await asyncio.sleep(_TICK)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._next_client += 1
+        client = f"client-{self._next_client}"
+        try:
+            while True:
+                read = asyncio.ensure_future(reader.readuntil(b"\n"))
+                closing = asyncio.ensure_future(self._closing.wait())
+                await asyncio.wait(
+                    {read, closing}, return_when=asyncio.FIRST_COMPLETED
+                )
+                closing.cancel()
+                if not read.done():
+                    # Shutdown while parked between requests: bow out.
+                    read.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, asyncio.IncompleteReadError
+                    ):
+                        await read
+                    break
+                try:
+                    line = read.result()
+                except asyncio.IncompleteReadError:
+                    break
+                except asyncio.LimitOverrunError:
+                    await self._send(writer, {"op": "error",
+                                              "error": "line too long"})
+                    break
+                if not line:
+                    break
+                try:
+                    msg = protocol.decode_line(line)
+                except ProtocolError as exc:
+                    await self._send(writer, {"op": "error", "error": str(exc)})
+                    continue
+                self._metrics().inc("service.requests")
+                with telemetry.span("service.request", op=msg["op"]):
+                    stop = await self._handle_message(msg, writer, client)
+                if isinstance(stop, str):
+                    client = stop
+                elif stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled us; close and bow out
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            with contextlib.suppress(OSError, RuntimeError):
+                writer.close()
+
+    async def _handle_message(self, msg: dict, writer, client: str):
+        op = msg["op"]
+        if op == "hello":
+            name = str(msg.get("client") or client)
+            await self._send(writer, {
+                "op": "welcome", "protocol": protocol.PROTOCOL_VERSION,
+                "pid": os.getpid(), "client": name,
+            })
+            return name
+        if op == "ping":
+            await self._send(writer, {"op": "pong", "pid": os.getpid()})
+            return False
+        if op == "status":
+            await self._send(writer, self._status_doc())
+            return False
+        if op == "drain":
+            await self._send(writer, {"op": "draining"})
+            self._begin_drain()
+            return False
+        if op == "events":
+            await self._stream_events(
+                writer,
+                replay=bool(msg.get("replay", True)),
+                follow=bool(msg.get("follow", True)),
+            )
+            return True
+        if op == "submit":
+            await self._handle_submit(msg, writer, client)
+            return False
+        await self._send(writer, {"op": "error", "error": f"unknown op {op!r}"})
+        return False
+
+    async def _send(self, writer, msg: Mapping) -> None:
+        writer.write(protocol.encode(msg))
+        await writer.drain()
+
+    def _status_doc(self) -> dict:
+        registry = self._metrics()
+        counters = {}
+        for name in registry.names():
+            if name.startswith(("service.", "graphcache.")):
+                metric = registry.get(name)
+                value = getattr(metric, "value", None)
+                if isinstance(value, int):
+                    counters[name] = value
+        return {
+            "op": "status",
+            "pid": os.getpid(),
+            "draining": self._draining,
+            "workers": self.pool.workers,
+            "pool_generation": self.pool.generation,
+            "queue_depth": len(self._queue),
+            "inflight": len(self._inflight),
+            "jobs_done": self._jobs_done,
+            "hit_no_worker": counters.get("service.hit_no_worker", 0),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "seq": self.journal.seq,
+            "counters": counters,
+            "shm": self.shm.stats() if self.shm is not None else None,
+        }
+
+    async def _stream_events(self, writer, *, replay: bool, follow: bool) -> None:
+        history, queue = self.journal.subscribe(replay)
+        try:
+            for record in history:
+                await self._send(writer, {"op": "event", "record": record})
+            if not follow:
+                await self._send(writer, {"op": "done", "summary": {
+                    "events": len(history), "seq": self.journal.seq,
+                }})
+                return
+            while True:
+                get = asyncio.ensure_future(queue.get())
+                closing = asyncio.ensure_future(self._closing.wait())
+                done, pending = await asyncio.wait(
+                    {get, closing}, return_when=asyncio.FIRST_COMPLETED
+                )
+                for fut in pending:
+                    fut.cancel()
+                if get in done:
+                    await self._send(writer, {"op": "event", "record": get.result()})
+                if closing in done:
+                    while not queue.empty():
+                        await self._send(
+                            writer, {"op": "event", "record": queue.get_nowait()}
+                        )
+                    return
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self.journal.unsubscribe(queue)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def _handle_submit(self, msg: dict, writer, client: str) -> None:
+        jobs = msg.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            await self._send(writer, {"op": "error",
+                                      "error": "submit needs a 'jobs' list"})
+            return
+        try:
+            specs = [protocol.doc_to_spec(doc) for doc in jobs]
+        except ProtocolError as exc:
+            await self._send(writer, {"op": "error", "error": str(exc)})
+            return
+        fresh = bool(msg.get("fresh", False))
+        wait = bool(msg.get("wait", True))
+        self.journal.emit("service_submit", client=client, jobs=len(specs))
+        results: asyncio.Queue = asyncio.Queue()
+        outstanding: set[str] = set()
+        summary = {"jobs": len(specs), "hits": 0, "dispatched": 0,
+                   "coalesced": 0, "rejected": 0, "ok": 0, "failed": 0}
+        registry = self._metrics()
+        for spec in specs:
+            key = spec.cache_key
+            if self._draining:
+                summary["rejected"] += 1
+                registry.inc("service.rejected")
+                registry.inc("service.rejected.draining")
+                self.journal.emit("service_reject", client=client,
+                                  reason="draining", key=key)
+                await self._send(writer, {
+                    "op": "rejected", "key": key, "job": spec.label,
+                    "reason": "draining",
+                })
+                continue
+            if not fresh:
+                artifact = self.store.get(spec)
+                if artifact is not None:
+                    summary["hits"] += 1
+                    summary["ok"] += 1
+                    registry.inc("service.hit_no_worker")
+                    self.journal.emit(
+                        "cache_hit", job=spec.label,
+                        experiment=spec.experiment_id, key=key, client=client,
+                    )
+                    await self._send(writer, {
+                        "op": "result", "key": key, "job": spec.label,
+                        "status": "cached", "source": "store",
+                        "payload": artifact["result"],
+                    })
+                    continue
+            live = self._entries.get(key)
+            if live is not None:
+                # Identical submission already queued or running:
+                # coalesce instead of dispatching twice.
+                live.waiters.append(results)
+                outstanding.add(key)
+                summary["coalesced"] += 1
+                registry.inc("service.coalesced")
+                await self._send(writer, {
+                    "op": "accepted", "key": key, "job": spec.label,
+                    "coalesced": True,
+                })
+                continue
+            if len(self._queue) + len(self._inflight) >= self.config.queue_limit:
+                summary["rejected"] += 1
+                registry.inc("service.rejected")
+                registry.inc("service.rejected.queue_full")
+                self.journal.emit("service_reject", client=client,
+                                  reason="queue_full", key=key)
+                await self._send(writer, {
+                    "op": "rejected", "key": key, "job": spec.label,
+                    "reason": "queue_full",
+                })
+                continue
+            if (
+                self._client_outstanding.get(client, 0)
+                >= self.config.client_quota
+            ):
+                summary["rejected"] += 1
+                registry.inc("service.rejected")
+                registry.inc("service.rejected.quota")
+                self.journal.emit("service_reject", client=client,
+                                  reason="quota", key=key)
+                await self._send(writer, {
+                    "op": "rejected", "key": key, "job": spec.label,
+                    "reason": "quota",
+                })
+                continue
+            entry = _Entry(spec, client)
+            if fresh:
+                entry.job_doc["fresh"] = True
+            entry.waiters.append(results)
+            self._entries[key] = entry
+            self._queue.append(entry)
+            self._client_outstanding[client] = (
+                self._client_outstanding.get(client, 0) + 1
+            )
+            outstanding.add(key)
+            summary["dispatched"] += 1
+            self._gauge_queue()
+            await self._send(writer, {
+                "op": "accepted", "key": key, "job": spec.label,
+            })
+        if wait:
+            while outstanding:
+                message = await results.get()
+                key = message.get("key")
+                if key in outstanding:
+                    outstanding.discard(key)
+                    if message.get("status") == "failed":
+                        summary["failed"] += 1
+                    else:
+                        summary["ok"] += 1
+                    await self._send(writer, message)
+        await self._send(writer, {"op": "done", "summary": summary})
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def serve(config: ServiceConfig, *, handle_signals: bool = True) -> int:
+    """Run a daemon in the foreground until drained; returns its exit
+    code (0 on a clean drain).  SIGTERM and SIGINT trigger the drain."""
+    loop = asyncio.new_event_loop()
+    service = SweepService(config)
+    if handle_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, service.request_drain)
+    try:
+        return loop.run_until_complete(service.run())
+    finally:
+        with contextlib.suppress(Exception):
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+
+
+class ServiceThread:
+    """A daemon on a background thread (tests and embedded use).
+
+    >>> with ServiceThread(config) as handle:      # doctest: +SKIP
+    ...     client = ServiceClient(config.socket_path)
+    ...     client.submit([JobSpec("E1")])
+
+    Exiting the block drains the daemon and joins the thread.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.service = SweepService(config)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def _main():
+            try:
+                await self.service.start()
+            except BaseException as exc:  # surface bind errors to start()
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.service._stopped.wait()
+
+        try:
+            loop.run_until_complete(_main())
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise self._error
+        if not self._ready.is_set():
+            raise ServiceError("service thread did not come up within 30s")
+        return self
+
+    def drain(self, join_timeout: float = 60.0) -> None:
+        self.service.request_drain()
+        if self._thread is not None:
+            self._thread.join(timeout=join_timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.drain()

@@ -1,0 +1,361 @@
+"""Shared-memory hot tier over the graph-bundle cache.
+
+The graph-bundle cache (:mod:`repro.runner.graphcache`) already shares
+compiled arrays across processes through the page cache: every worker
+``np.memmap``-s the same ``.npy`` files.  The hot tier goes one step
+further for a *resident* service: arrays are published once into named
+``multiprocessing.shared_memory`` segments, and every warm worker
+attaches the same segment — one physical copy per machine, attach cost
+independent of array size, no per-request checksum pass.
+
+Layout of one segment::
+
+    [0:8]                uint64 LE header length H
+    [8:8+H]              JSON header {"kind", "key", "arrays": {name:
+                         {"dtype", "shape", "offset", "nbytes"}}}
+    [align64(8+H):]      raw array bytes (offsets relative to here)
+
+Lifecycle discipline (the part ``SharedMemory`` does not give you):
+
+- **deterministic names** — a segment is named by a digest of
+  ``(ledger root, kind, content key)``, so concurrent publishers
+  converge on one segment and losing the create race is an attach;
+- **ledger** — every created segment is recorded as a JSON file under
+  the ledger directory *before* the segment exists.  Cleanup never
+  depends on the creating process surviving: :meth:`drain` (and the
+  startup :meth:`gc`) unlink every ledger-recorded segment, which also
+  heals segments leaked by a crashed worker (the ``shm_leak`` chaos
+  fault exercises exactly that path);
+- **refcounted handles** — arrays handed out keep their segment mapped
+  via weakref finalizers; an LRU-evicted or drained segment is unlinked
+  immediately (readers keep their mapping — POSIX semantics) but its
+  local mapping is closed only once the last array view dies;
+- **no resource-tracker noise** — segments are unregistered from the
+  ``multiprocessing`` resource tracker on open and re-registered just
+  before unlink, so neither workers nor the daemon emit "leaked
+  shared_memory" warnings; the ledger, not the tracker, owns cleanup.
+
+The tier is deliberately write-through-less: evicting a segment spills
+nothing, because the bundle on disk (memmap tier) is always the durable
+copy — a subsequent miss simply falls back to the graph cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+import weakref
+from collections import OrderedDict
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+__all__ = ["ShmTier", "segment_name"]
+
+#: Environment variable naming a ledger directory; workers spawned by a
+#: sweep or the service attach the tier lazily through
+#: :func:`repro.cdag.artifact.active_cache`.
+ENV_VAR = "REPRO_SHM_LEDGER"
+
+#: Default budget of live segments per tier before LRU eviction.
+DEFAULT_MAX_BYTES = 256 << 20
+
+_HEADER_STRUCT = struct.Struct("<Q")
+_ALIGN = 64
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def segment_name(root: str | os.PathLike, kind: str, key: str) -> str:
+    """Deterministic segment name for ``(kind, key)`` under ``root``.
+
+    The root is folded in so two tiers with different ledgers (say, two
+    test sandboxes on one machine) can never collide in ``/dev/shm``.
+    """
+    h = hashlib.sha256(f"{Path(root).resolve()}:{kind}:{key}".encode())
+    return f"repro-{h.hexdigest()[:24]}"
+
+
+def _untrack(name: str) -> None:
+    """Remove ``name`` from the multiprocessing resource tracker (the
+    ledger owns cleanup; the tracker would double-unlink and warn)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def _track(name: str) -> None:
+    """Re-register ``name`` so the ``unlink()`` that follows balances
+    the tracker's books (register/unregister always pair up)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class _Segment:
+    """One mapped segment plus its local refcount."""
+
+    __slots__ = ("name", "shm", "nbytes", "refs", "retired")
+
+    def __init__(self, name: str, shm, nbytes: int):
+        self.name = name
+        self.shm = shm
+        self.nbytes = nbytes
+        self.refs = 0  # live array views handed out by this process
+        self.retired = False  # unlinked (or drained): close at refs==0
+
+    def close(self) -> bool:
+        try:
+            self.shm.close()
+            return True
+        except BufferError:
+            # An array view still points into the buffer; the finalizer
+            # that drops the last view retries.
+            return False
+
+
+class ShmTier:
+    """Named-segment hot tier with a ledger rooted at ``root``."""
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = int(max_bytes)
+        #: segments this process created, oldest first (the LRU axis).
+        self._created: OrderedDict[str, int] = OrderedDict()
+        #: every segment this process has mapped, by name.
+        self._segments: dict[str, _Segment] = {}
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+
+    def _ledger_path(self, name: str) -> Path:
+        return self.root / f"{name}.seg"
+
+    def _ledger_write(self, name: str, kind: str, key: str, nbytes: int) -> None:
+        doc = {"name": name, "kind": kind, "key": key, "nbytes": int(nbytes)}
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".seg")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        os.replace(tmp, self._ledger_path(name))
+
+    def ledger(self) -> list[dict]:
+        """Every recorded segment (sorted by name, for stable output)."""
+        out = []
+        for path in sorted(self.root.glob("*.seg")):
+            try:
+                out.append(json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    # Publish / attach
+    # ------------------------------------------------------------------
+
+    def put(self, kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> bool:
+        """Publish ``arrays`` as one shared segment; True when the
+        segment exists afterwards (created here or by a racing peer).
+        Oversized payloads are declined — the memmap tier handles them.
+        """
+        from multiprocessing import shared_memory
+
+        name = segment_name(self.root, kind, key)
+        seg = self._segments.get(name)
+        if seg is not None and not seg.retired:
+            return True
+        entries: dict[str, dict] = {}
+        blobs: list[tuple[str, np.ndarray]] = []
+        offset = 0
+        for arr_name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            entries[arr_name] = {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": int(arr.nbytes),
+            }
+            blobs.append((arr_name, arr))
+            offset = _align(offset + arr.nbytes)
+        header = json.dumps(
+            {"kind": kind, "key": key, "arrays": entries}, sort_keys=True
+        ).encode("utf-8")
+        data_start = _align(_HEADER_STRUCT.size + len(header))
+        total = max(1, data_start + offset)
+        if total > self.max_bytes:
+            return False
+        self._make_room(total)
+        # Ledger first: if this process dies between the record and the
+        # create (or right after the create), drain/gc can still unlink.
+        self._ledger_write(name, kind, key, total)
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        except FileExistsError:
+            # Lost the publish race; the peer's content-identical
+            # segment wins and this attach is a hit.
+            return self._attach(name) is not None
+        except OSError as exc:
+            try:
+                self._ledger_path(name).unlink()
+            except OSError:
+                pass
+            raise ServiceError(f"cannot create shm segment {name}: {exc}") from exc
+        _untrack(name)
+        buf = shm.buf
+        buf[: _HEADER_STRUCT.size] = _HEADER_STRUCT.pack(len(header))
+        buf[_HEADER_STRUCT.size : _HEADER_STRUCT.size + len(header)] = header
+        for arr_name, arr in blobs:
+            entry = entries[arr_name]
+            start = data_start + entry["offset"]
+            buf[start : start + arr.nbytes] = arr.tobytes()
+        self._segments[name] = _Segment(name, shm, total)
+        self._created[name] = total
+        return True
+
+    def _attach(self, name: str) -> _Segment | None:
+        from multiprocessing import shared_memory
+
+        seg = self._segments.get(name)
+        if seg is not None and not seg.retired:
+            return seg
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            return None
+        _untrack(name)
+        seg = _Segment(name, shm, shm.size)
+        self._segments[name] = seg
+        return seg
+
+    def get(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        """Attach the segment for ``(kind, key)`` and view its arrays,
+        or None when no peer has published it (fall back to the graph
+        cache).  Views are read-only and keep the mapping alive."""
+        name = segment_name(self.root, kind, key)
+        seg = self._attach(name)
+        if seg is None:
+            return None
+        try:
+            return self._arrays_of(seg, kind, key)
+        except (ValueError, KeyError, json.JSONDecodeError, struct.error):
+            # A torn or foreign segment reads as a miss, mirroring the
+            # store/bundle corruption discipline; unlink so nobody else
+            # trips over it and the memmap tier repopulates.
+            self._retire(name)
+            return None
+
+    def _arrays_of(self, seg: _Segment, kind: str, key: str) -> dict[str, np.ndarray]:
+        buf = seg.shm.buf
+        (header_len,) = _HEADER_STRUCT.unpack_from(buf, 0)
+        if header_len <= 0 or _HEADER_STRUCT.size + header_len > len(buf):
+            raise ValueError("shm header length out of range")
+        header = json.loads(
+            bytes(buf[_HEADER_STRUCT.size : _HEADER_STRUCT.size + header_len])
+        )
+        if header.get("kind") != kind or header.get("key") != key:
+            raise ValueError("shm segment identity mismatch")
+        data_start = _align(_HEADER_STRUCT.size + header_len)
+        arrays: dict[str, np.ndarray] = {}
+        for arr_name, entry in header["arrays"].items():
+            arr = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=buf,
+                offset=data_start + int(entry["offset"]),
+            )
+            arr.flags.writeable = False
+            weakref.finalize(arr, self._deref, seg.name)
+            seg.refs += 1
+            arrays[arr_name] = arr
+        return arrays
+
+    # ------------------------------------------------------------------
+    # Eviction / cleanup
+    # ------------------------------------------------------------------
+
+    def _deref(self, name: str) -> None:
+        seg = self._segments.get(name)
+        if seg is None:
+            return
+        seg.refs -= 1
+        if seg.retired and seg.refs <= 0 and seg.close():
+            self._segments.pop(name, None)
+
+    def _retire(self, name: str) -> None:
+        """Unlink ``name`` (readers keep their mappings) and schedule
+        the local close for when the last array view dies."""
+        seg = self._segments.get(name) or self._attach(name)
+        if seg is not None and not seg.retired:
+            seg.retired = True
+            _track(name)
+            try:
+                seg.shm.unlink()
+            except (FileNotFoundError, OSError):
+                _untrack(name)
+            if seg.refs <= 0 and seg.close():
+                self._segments.pop(name, None)
+        self._created.pop(name, None)
+        try:
+            self._ledger_path(name).unlink()
+        except OSError:
+            pass
+
+    def _make_room(self, incoming: int) -> None:
+        used = sum(self._created.values())
+        while self._created and used + incoming > self.max_bytes:
+            oldest, nbytes = next(iter(self._created.items()))
+            self._retire(oldest)
+            used -= nbytes
+
+    def drain(self) -> list[str]:
+        """Unlink every ledger-recorded segment (ours or a dead peer's)
+        and every locally mapped one; returns the unlinked names.  Safe
+        to call repeatedly; the ledger directory itself is kept."""
+        names = {doc["name"] for doc in self.ledger() if "name" in doc}
+        names.update(self._segments)
+        removed = sorted(names)
+        for name in removed:
+            self._retire(name)
+        # Stale ledger files whose segment never materialised.
+        for path in self.root.glob("*.seg"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for path in self.root.glob(".tmp-*.seg"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def gc(self) -> list[str]:
+        """Startup hygiene: unlink segments a dead service left behind.
+        Identical to :meth:`drain` — run it only when no peer is live,
+        the same contract as :meth:`ResultStore.gc_orphans`."""
+        return self.drain()
+
+    def stats(self) -> dict:
+        """Local view of the tier (for ``status`` responses and tests)."""
+        return {
+            "segments": len(self._segments),
+            "created": len(self._created),
+            "created_bytes": sum(self._created.values()),
+            "ledger": len(list(self.root.glob("*.seg"))),
+            "max_bytes": self.max_bytes,
+        }

@@ -1,0 +1,119 @@
+"""Resident warm worker pool for the sweep service.
+
+The batch scheduler builds a fresh ``ProcessPoolExecutor`` per sweep,
+so every sweep pays process spawn plus cold imports before the first
+job runs.  :class:`WarmPool` keeps one pool alive for the daemon's
+lifetime and makes the spawn cost a one-time event:
+
+- each worker runs :func:`_warm_worker` once at birth — it imports the
+  experiment registry (the dominant cold-start cost) and activates the
+  graph-bundle cache and shared-memory tier, so the first real job
+  already finds compiled bundles attached;
+- jobs execute through the *same*
+  :func:`repro.runner.pool._execute_job` body as the batch scheduler,
+  so payload serialisation, seeds, chaos faults and telemetry behave
+  identically whether a job arrived via ``repro sweep`` or the daemon;
+- the pool keeps the affinity bookkeeping of the batch scheduler:
+  :attr:`worker_groups` records which graph-affinity groups each live
+  worker pid has served, and the server's dispatcher prefers queued
+  jobs some warm worker has bundles for;
+- a crashed worker breaks the whole stdlib pool; :meth:`rebuild`
+  replaces it (and clears the warm map — every warm worker just died),
+  mirroring the batch scheduler's ``_rebuild_pool``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from repro.runner.pool import _execute_job
+
+__all__ = ["WarmPool"]
+
+
+def _warm_worker(graph_cache: str | None, shm_root: str | None) -> None:
+    """Worker initializer: pay the cold costs once, at spawn."""
+    import repro.experiments  # noqa: F401  (registers E1..E14)
+
+    if graph_cache is not None:
+        from repro.runner.graphcache import activate
+
+        activate(graph_cache, shm_root=shm_root)
+    elif shm_root is not None:
+        os.environ.setdefault("REPRO_SHM_LEDGER", str(shm_root))
+
+
+class WarmPool:
+    """A long-lived, rebuildable process pool of pre-warmed workers."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        graph_cache: str | os.PathLike | None = None,
+        shm_root: str | os.PathLike | None = None,
+        mp_context=None,
+    ):
+        self.workers = max(1, int(workers))
+        self.graph_cache = str(graph_cache) if graph_cache is not None else None
+        self.shm_root = str(shm_root) if shm_root is not None else None
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self.generation = 0
+        #: graph-affinity groups each live worker pid has served.
+        self.worker_groups: dict[int, set[str]] = {}
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_context,
+            initializer=_warm_worker,
+            initargs=(self.graph_cache, self.shm_root),
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = self._make_executor()
+            self.generation += 1
+        return self._executor
+
+    def submit(self, job_doc: dict) -> Future:
+        """Run one job doc on a warm worker (see
+        :func:`repro.runner.pool._execute_job` for the body)."""
+        if self.graph_cache is not None:
+            job_doc.setdefault("graph_cache", self.graph_cache)
+        if self.shm_root is not None:
+            job_doc.setdefault("shm", self.shm_root)
+        return self.executor.submit(_execute_job, job_doc)
+
+    def note_served(self, worker_pid: int, affinity: str | None) -> None:
+        """Record that ``worker_pid`` has the bundles of ``affinity``
+        mapped (drives warm-preferring dispatch)."""
+        if affinity is not None:
+            self.worker_groups.setdefault(worker_pid, set()).add(affinity)
+
+    def warm_affinities(self) -> set[str]:
+        """Every affinity group some live worker has already served."""
+        if not self.worker_groups:
+            return set()
+        return set().union(*self.worker_groups.values())
+
+    def rebuild(self) -> None:
+        """Replace a broken pool (kills any stragglers first)."""
+        if self._executor is not None:
+            for proc in list(getattr(self._executor, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except (OSError, AttributeError):
+                    pass
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.worker_groups.clear()
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            self._executor = None
+        self.worker_groups.clear()

@@ -99,6 +99,30 @@ def graph_job(r: int = 2, M: int = 32) -> ExperimentResult:
     return _result("T-GRAPH", r=r, M=M, total=int(res.total))
 
 
+def store_hammer(root: str, tag: int, rounds: int = 30) -> None:
+    """Hammer one :class:`ResultStore` from this process: republish a
+    shared set of keys with churning payloads, read them back, and run
+    ``gc_orphans`` in between.  Run from several processes at once, the
+    advisory publication lock is what keeps every read a verified
+    artifact and every in-flight temp file out of the collector's
+    hands; any torn read or lost write raises and fails the process.
+    """
+    from repro.runner.jobs import JobSpec
+    from repro.runner.store import ResultStore
+
+    store = ResultStore(root)
+    specs = [JobSpec("T-LOCK", {"slot": slot}) for slot in range(3)]
+    for r in range(rounds):
+        for spec in specs:
+            store.put(spec, {"experiment_id": "T-LOCK",
+                             "data": {"tag": tag, "round": r}})
+            artifact = store.get(spec)
+            assert artifact is not None, f"lost write for {spec.label}"
+            assert artifact["result"]["experiment_id"] == "T-LOCK"
+        if r % 5 == 0:
+            store.gc_orphans()
+
+
 def cache_shard_job(shard: int = 0) -> ExperimentResult:
     """Emit per-shard trace-cache counters for merge testing."""
     from repro.tracesim import SetAssociativeLRU, trace_blocked

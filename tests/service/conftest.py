@@ -1,0 +1,12 @@
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """Counters (service.*, graphcache.*) live in the process-global
+    registry; every test asserts against a clean slate."""
+    telemetry.reset()
+    yield
+    telemetry.reset()

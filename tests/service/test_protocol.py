@@ -1,0 +1,82 @@
+"""Wire-protocol unit tests: framing, validation, spec round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runner.jobs import JobSpec
+from repro.service import protocol
+
+
+class TestEncode:
+    def test_one_newline_terminated_line(self):
+        raw = protocol.encode({"op": "ping"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert json.loads(raw) == {"op": "ping"}
+
+    def test_canonical_key_order(self):
+        a = protocol.encode({"op": "x", "b": 1, "a": 2})
+        b = protocol.encode({"a": 2, "op": "x", "b": 1})
+        assert a == b
+
+    def test_requires_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode({"jobs": []})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            protocol.encode({"op": "x", "v": float("nan")})
+
+
+class TestDecodeLine:
+    def test_round_trip(self):
+        msg = {"op": "submit", "jobs": [{"experiment": "E1"}]}
+        assert protocol.decode_line(protocol.encode(msg)) == msg
+
+    def test_accepts_str_and_bytes(self):
+        assert protocol.decode_line('{"op": "ping"}\n') == {"op": "ping"}
+        assert protocol.decode_line(b'{"op": "ping"}\n') == {"op": "ping"}
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"", b"\n", b"not json\n", b"[1, 2]\n", b'{"no_op": 1}\n',
+         b'{"op": 42}\n'],
+    )
+    def test_rejects_malformed(self, line):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(line)
+
+
+class TestSpecDocs:
+    def test_round_trip_preserves_cache_key(self):
+        spec = JobSpec("E9", {"r_max": 3}, seed=7,
+                       entrypoint="tests.runner.helpers:ok_job")
+        doc = protocol.spec_to_doc(spec)
+        json.dumps(doc)  # wire-safe
+        back = protocol.doc_to_spec(doc)
+        assert back.cache_key == spec.cache_key
+        assert back == spec
+
+    def test_accepts_experiment_id_alias(self):
+        spec = protocol.doc_to_spec({"experiment_id": "E1"})
+        assert spec.experiment_id == "E1"
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not a mapping",
+            {},
+            {"experiment": 42},
+            {"experiment": ""},
+            {"experiment": "E1", "params": [1, 2]},
+            {"experiment": "E1", "seed": "seven"},
+            {"experiment": "E1", "entrypoint": 3},
+        ],
+    )
+    def test_rejects_bad_docs(self, doc):
+        with pytest.raises(ProtocolError):
+            protocol.doc_to_spec(doc)

@@ -1,0 +1,270 @@
+"""Daemon behaviour: store fast path, admission control, retries, drain.
+
+Every test runs a real daemon (``ServiceThread``) with real fork-started
+workers over a real unix socket; job bodies come from
+``tests.runner.helpers`` and are trivial, so the module stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import chaos
+from repro.chaos.plan import FaultPlan
+from repro.errors import ServiceError
+from repro.runner.jobs import JobSpec
+from repro.runner.store import ResultStore
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+HELPERS = "tests.runner.helpers"
+
+
+def wait_for_inflight(client, n, deadline=10.0):
+    """Poll until the daemon reports ``n`` in-flight jobs."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline:
+        if client.status()["inflight"] >= n:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"daemon never reached {n} in-flight jobs")
+
+
+def spec(name, params=None, seed=None, fn=None):
+    return JobSpec(
+        name, params or {}, seed=seed,
+        entrypoint=f"{HELPERS}:{fn or 'ok_job'}",
+    )
+
+
+@pytest.fixture
+def make_config(tmp_path):
+    def make(**kw):
+        kw.setdefault("socket_path", str(tmp_path / "svc.sock"))
+        kw.setdefault("cache_dir", str(tmp_path / "cache"))
+        kw.setdefault("workers", 1)
+        kw.setdefault("shm_root", None)
+        kw.setdefault("backoff", 0.01)
+        return ServiceConfig(**kw)
+
+    return make
+
+
+def journal_records(config) -> list[dict]:
+    path = config.resolved_events_path()
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+class TestStoreFastPath:
+    def test_second_submission_skips_workers(self, make_config):
+        config = make_config()
+        job = spec("T-OK", {"x": 3})
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                first = client.submit([job])
+                assert first["dispatched"] == 1
+                assert first["hits"] == 0
+                assert first["ok"] == 1
+                second = client.submit([job])
+                assert second["hits"] == 1
+                assert second["dispatched"] == 0
+                assert second["ok"] == 1
+                (msg,) = second["results"]
+                assert msg["status"] == "cached"
+                assert msg["source"] == "store"
+                assert msg["payload"]["data"]["squared"] == 9
+                status = client.status()
+                # The hit was served by the event loop alone: exactly one
+                # worker dispatch ever happened.
+                assert status["hit_no_worker"] == 1
+                assert status["counters"]["service.dispatched"] == 1
+                assert status["jobs_done"] == 1
+
+    def test_fresh_bypasses_the_store(self, make_config):
+        config = make_config()
+        job = spec("T-OK", {"x": 5})
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                client.submit([job])
+                again = client.submit([job], fresh=True)
+                assert again["hits"] == 0
+                assert again["dispatched"] == 1
+
+    def test_result_lands_in_the_shared_store(self, make_config):
+        config = make_config()
+        job = spec("T-OK", {"x": 7})
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                client.submit([job])
+        artifact = ResultStore(config.cache_dir).get(job)
+        assert artifact is not None
+        assert artifact["result"]["data"]["squared"] == 49
+
+
+class TestAdmission:
+    def test_queue_full_rejection(self, make_config):
+        config = make_config(queue_limit=1)
+        jobs = [spec("T-SLEEPY", {"duration": d}, fn="sleepy_job")
+                for d in (1.0, 1.01)]
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                summary = client.submit(jobs, wait=False)
+                assert summary["dispatched"] == 1
+                assert summary["rejected"] == 1
+                (msg,) = summary["results"]
+                assert msg["op"] == "rejected"
+                assert msg["reason"] == "queue_full"
+                assert client.status()["counters"][
+                    "service.rejected.queue_full"] == 1
+
+    def test_client_quota_rejection(self, make_config):
+        config = make_config(client_quota=1, queue_limit=64)
+        jobs = [spec("T-SLEEPY", {"duration": d}, fn="sleepy_job")
+                for d in (0.5, 0.51)]
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                summary = client.submit(jobs, wait=False)
+                assert summary["dispatched"] == 1
+                assert summary["rejected"] == 1
+                assert summary["results"][0]["reason"] == "quota"
+
+    def test_identical_inflight_submission_coalesces(self, make_config):
+        config = make_config(workers=1)
+        job = spec("T-SLEEPY", {"duration": 1.0}, fn="sleepy_job")
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as starter:
+                started = starter.submit([job], wait=False)
+                assert started["dispatched"] == 1
+                with ServiceClient(config.socket_path) as rider:
+                    summary = rider.submit([job])
+                    assert summary["coalesced"] == 1
+                    assert summary["dispatched"] == 0
+                    assert summary["ok"] == 1
+                    assert summary["results"][0]["status"] == "ok"
+                    assert rider.status()["counters"]["service.coalesced"] == 1
+        # One worker dispatch total: exactly one job_start in the journal.
+        starts = [r for r in journal_records(config)
+                  if r.get("event") == "job_start"]
+        assert len(starts) == 1
+
+
+class TestFailures:
+    def test_error_job_fails_after_retries(self, make_config):
+        config = make_config(retries=0)
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                summary = client.submit([spec("T-ERR", fn="error_job")])
+                assert summary["failed"] == 1
+                assert summary["ok"] == 0
+                (msg,) = summary["results"]
+                assert msg["status"] == "failed"
+                assert "RuntimeError" in msg["error"]
+                assert len(msg["attempts"]) == 1
+
+    def test_flaky_job_retries_to_success(self, make_config, tmp_path):
+        config = make_config(retries=1)
+        job = spec("T-FLAKY",
+                   {"marker_dir": str(tmp_path / "marks"), "fail_times": 1},
+                   fn="flaky_job")
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                summary = client.submit([job])
+                assert summary["ok"] == 1
+                assert summary["failed"] == 0
+        events = [r.get("event") for r in journal_records(config)]
+        assert "job_retry" in events
+        assert "job_finish" in events
+
+
+class TestDrain:
+    def test_drain_finishes_the_inflight_job(self, make_config):
+        config = make_config()
+        job = spec("T-SLEEPY", {"duration": 0.8}, fn="sleepy_job")
+        handle = ServiceThread(config).start()
+        with ServiceClient(config.socket_path) as client:
+            client.submit([job], wait=False)
+            wait_for_inflight(client, 1)
+            client.drain()
+        handle.drain()
+        # The in-flight job was allowed to finish and publish.
+        assert ResultStore(config.cache_dir).get(job) is not None
+        events = [r.get("event") for r in journal_records(config)]
+        assert "job_finish" in events
+        assert "service_drain" in events
+        assert events[-1] == "service_stop"
+
+    def test_drain_fails_queued_jobs_fast(self, make_config):
+        config = make_config(workers=1)
+        inflight = spec("T-SLEEPY", {"duration": 1.0}, fn="sleepy_job")
+        queued = spec("T-SLEEPY", {"duration": 1.02}, fn="sleepy_job")
+        handle = ServiceThread(config).start()
+        with ServiceClient(config.socket_path) as client:
+            client.submit([inflight, queued], wait=False)
+            wait_for_inflight(client, 1)
+            client.drain()
+        handle.drain()
+        store = ResultStore(config.cache_dir)
+        assert store.get(inflight) is not None  # ran to completion
+        assert store.get(queued) is None  # failed fast, never dispatched
+        failed = [r for r in journal_records(config)
+                  if r.get("event") == "job_failed"]
+        assert [r["key"] for r in failed] == [queued.cache_key]
+
+    def test_socket_removed_after_drain(self, make_config, tmp_path):
+        config = make_config()
+        with ServiceThread(config):
+            assert ServiceClient(config.socket_path).ping()
+        assert not os.path.exists(config.socket_path)
+
+
+class TestSocketLifecycle:
+    def test_stale_socket_file_is_replaced(self, make_config, tmp_path):
+        config = make_config()
+        # A dead daemon's leftover socket path must not block startup.
+        with open(config.socket_path, "w", encoding="utf-8") as fh:
+            fh.write("stale")
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                assert client.ping()
+
+    def test_live_socket_refuses_second_daemon(self, make_config):
+        config = make_config()
+        with ServiceThread(config):
+            with pytest.raises(ServiceError):
+                ServiceThread(config).start()
+
+
+class TestChaosRestart:
+    def test_corrupted_store_heals_across_restart(self, make_config):
+        config = make_config()
+        job = spec("T-OK", {"x": 11})
+        plan = FaultPlan(seed=7, worker_rate=0.0, store_rate=1.0,
+                         log_rate=0.0, store_kinds=("bitflip",))
+        with chaos.monkey(plan):
+            with ServiceThread(config):
+                with ServiceClient(config.socket_path) as client:
+                    summary = client.submit([job])
+                    assert summary["ok"] == 1
+        # The artifact was corrupted right after publication; a clean
+        # restart must treat it as a miss, re-dispatch, and re-publish.
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                summary = client.submit([job])
+                assert summary["hits"] == 0
+                assert summary["dispatched"] == 1
+                status = client.status()
+                assert status["hit_no_worker"] == 0
+                # ...and now the store is healthy again.
+                third = client.submit([job])
+                assert third["hits"] == 1
+        artifact = ResultStore(config.cache_dir).get(job)
+        assert artifact is not None

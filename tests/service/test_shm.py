@@ -1,0 +1,201 @@
+"""Shared-memory tier tests: round-trips, eviction, crash hygiene.
+
+Every test must leave ``/dev/shm`` exactly as it found it — the
+``clean_shm`` fixture asserts it.  That assertion *is* the resource
+hygiene satellite: a leaked segment here is precisely the bug the
+ledger discipline exists to prevent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.chaos.faults import apply_worker_fault
+from repro.service.shm import ShmTier, segment_name
+
+
+@pytest.fixture
+def clean_shm(tmp_path):
+    root = tmp_path / "shm"
+    yield root
+    leftovers = ShmTier(root).drain()
+    # drain() returns what it had to clean; a non-empty list here means
+    # the test leaked segments it should have drained itself.
+    assert leftovers == [], f"test leaked segments: {leftovers}"
+
+
+def _arrays():
+    return {
+        "a": np.arange(100, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 17, dtype=np.float64).reshape(1, 17),
+        "flags": np.array([1, 0, 1], dtype=np.int8),
+    }
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, clean_shm):
+        tier = ShmTier(clean_shm)
+        assert tier.put("graph", "k1", _arrays())
+        out = tier.get("graph", "k1")
+        assert out is not None
+        for name, arr in _arrays().items():
+            np.testing.assert_array_equal(out[name], arr)
+            assert not out[name].flags.writeable
+        tier.drain()
+
+    def test_get_missing_is_none(self, clean_shm):
+        assert ShmTier(clean_shm).get("graph", "nope") is None
+
+    def test_second_tier_attaches_same_segment(self, clean_shm):
+        a, b = ShmTier(clean_shm), ShmTier(clean_shm)
+        a.put("plan", "k", _arrays())
+        out = b.get("plan", "k")
+        assert out is not None
+        np.testing.assert_array_equal(out["a"], _arrays()["a"])
+        a.drain()
+
+    def test_kind_mismatch_is_a_miss(self, clean_shm):
+        tier = ShmTier(clean_shm)
+        tier.put("graph", "k", _arrays())
+        assert tier.get("schedule", "k") is None
+        tier.drain()
+
+    def test_oversized_payload_declined(self, clean_shm):
+        tier = ShmTier(clean_shm, max_bytes=1024)
+        assert not tier.put("graph", "big",
+                            {"x": np.zeros(4096, dtype=np.float64)})
+        assert tier.get("graph", "big") is None
+
+    def test_names_differ_across_roots(self, tmp_path):
+        n1 = segment_name(tmp_path / "a", "graph", "k")
+        n2 = segment_name(tmp_path / "b", "graph", "k")
+        assert n1 != n2
+        assert n1.startswith("repro-")
+
+
+class TestEviction:
+    def test_lru_eviction_under_budget(self, clean_shm):
+        one = np.zeros(1 << 12, dtype=np.uint8)  # 4 KiB payload
+        tier = ShmTier(clean_shm, max_bytes=3 * (8 << 10))
+        for i in range(6):
+            assert tier.put("graph", f"k{i}", {"x": one})
+        stats = tier.stats()
+        assert stats["created_bytes"] <= tier.max_bytes
+        assert stats["created"] < 6  # something was evicted
+        # Most recent key survives; evicted keys read as misses.
+        assert tier.get("graph", "k5") is not None
+        assert tier.get("graph", "k0") is None
+        tier.drain()
+
+
+class TestCorruption:
+    def test_torn_segment_reads_as_miss_and_retires(self, clean_shm):
+        tier = ShmTier(clean_shm)
+        tier.put("graph", "k", _arrays())
+        name = segment_name(clean_shm, "graph", "k")
+        # Stomp the header: a foreign/torn segment must read as a miss.
+        seg = tier._segments[name]
+        seg.shm.buf[:16] = b"\xff" * 16
+        assert tier.get("graph", "k") is None
+        # The bad segment was retired: ledger entry gone, next get misses.
+        assert tier.get("graph", "k") is None
+        assert not (clean_shm / f"{name}.seg").exists()
+
+
+class TestDrainAndGc:
+    def test_drain_unlinks_everything(self, clean_shm):
+        tier = ShmTier(clean_shm)
+        for i in range(3):
+            tier.put("graph", f"k{i}", _arrays())
+        assert len(tier.ledger()) == 3
+        removed = tier.drain()
+        assert len(removed) == 3
+        assert tier.ledger() == []
+        assert tier.get("graph", "k0") is None
+        assert tier.stats()["ledger"] == 0
+
+    def test_gc_heals_a_dead_peers_segments(self, clean_shm):
+        # Peer (simulated crashed process) publishes and never cleans up.
+        def _peer(root):
+            t = ShmTier(root)
+            t.put("graph", "leaked", {"x": np.zeros(64, dtype=np.uint8)})
+            os._exit(0)  # no drain — the "crash"
+
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(target=_peer, args=(clean_shm,))
+        p.start()
+        p.join(timeout=30)
+        assert p.exitcode == 0
+        fresh = ShmTier(clean_shm)
+        assert len(fresh.ledger()) == 1
+        removed = fresh.gc()
+        assert removed, "gc must unlink the dead peer's segment"
+        assert fresh.get("graph", "leaked") is None
+        assert fresh.ledger() == []
+
+    def test_drain_removes_stale_ledger_without_segment(self, clean_shm):
+        tier = ShmTier(clean_shm)
+        # Ledger-then-create discipline: simulate dying in between.
+        tier._ledger_write("repro-deadbeefdeadbeefdeadbeef", "graph", "k", 64)
+        assert len(tier.ledger()) == 1
+        tier.drain()
+        assert tier.ledger() == []
+
+
+class TestChaosShmLeak:
+    def test_shm_leak_fault_leaks_then_gc_heals(self, clean_shm):
+        def _victim(root):
+            apply_worker_fault({"kind": "shm_leak", "shm": str(root)})
+
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(target=_victim, args=(clean_shm,))
+        p.start()
+        p.join(timeout=30)
+        assert p.exitcode == 23  # died segfault-style
+        tier = ShmTier(clean_shm)
+        assert len(tier.ledger()) == 1  # the leak is visible...
+        assert tier.gc()  # ...and the ledger-driven gc heals it
+        assert tier.ledger() == []
+
+    def test_shm_leak_without_root_still_exits(self, clean_shm):
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(
+            target=apply_worker_fault, args=({"kind": "shm_leak"},)
+        )
+        p.start()
+        p.join(timeout=30)
+        assert p.exitcode == 23
+
+
+class TestResourceTrackerHygiene:
+    def test_no_leak_warnings_from_full_lifecycle(self, tmp_path):
+        """A subprocess that creates, attaches, and drains segments must
+        exit with a silent resource tracker — no 'leaked shared_memory
+        objects' warning on stderr."""
+        script = (
+            "import numpy as np\n"
+            "from repro.service.shm import ShmTier\n"
+            f"root = {str(tmp_path / 'shm')!r}\n"
+            "a = ShmTier(root); b = ShmTier(root)\n"
+            "a.put('graph', 'k', {'x': np.arange(32)})\n"
+            "out = b.get('graph', 'k')\n"
+            "assert out is not None\n"
+            "del out\n"
+            "a.drain(); b.drain()\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr

@@ -1,0 +1,175 @@
+"""Event streaming: journal replay, live tail, seq discipline.
+
+The contract under test: a client that attaches mid-run sees the full
+history (replay) and then every subsequent record (tail) with strictly
+increasing, gap-free, duplicate-free ``seq`` numbers — the property the
+atomic snapshot-and-subscribe in ``_Journal.subscribe`` exists to give.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runner.jobs import JobSpec
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+HELPERS = "tests.runner.helpers"
+
+
+def spec(name, params=None, fn=None):
+    return JobSpec(
+        name, params or {}, entrypoint=f"{HELPERS}:{fn or 'ok_job'}",
+    )
+
+
+@pytest.fixture
+def make_config(tmp_path):
+    def make(**kw):
+        kw.setdefault("socket_path", str(tmp_path / "svc.sock"))
+        kw.setdefault("cache_dir", str(tmp_path / "cache"))
+        kw.setdefault("workers", 1)
+        kw.setdefault("shm_root", None)
+        kw.setdefault("backoff", 0.01)
+        return ServiceConfig(**kw)
+
+    return make
+
+
+def assert_seq_discipline(records, *, contiguous=True):
+    seqs = [r["seq"] for r in records]
+    assert seqs, "stream delivered no records"
+    assert len(set(seqs)) == len(seqs), f"duplicate seqs: {seqs}"
+    assert seqs == sorted(seqs), f"out-of-order seqs: {seqs}"
+    if contiguous:
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs))), (
+            f"gap in seqs: {seqs}"
+        )
+
+
+class _Tail(threading.Thread):
+    """Collects an events stream (replay + live tail) off-thread."""
+
+    def __init__(self, socket_path):
+        super().__init__(daemon=True)
+        self.client = ServiceClient(socket_path)
+        self.records: list[dict] = []
+        self.attached = threading.Event()
+
+    def run(self):
+        stream = self.client.events(replay=True, follow=True)
+        for record in stream:
+            self.records.append(record)
+            self.attached.set()
+
+
+class TestMidRunAttach:
+    def test_replay_then_live_tail_no_gaps(self, make_config):
+        config = make_config()
+        slow = spec("T-SLEEPY", {"duration": 0.6}, fn="sleepy_job")
+        late = spec("T-OK", {"x": 2})
+        handle = ServiceThread(config).start()
+        with ServiceClient(config.socket_path) as client:
+            client.submit([slow], wait=False)
+            # Attach mid-run: history exists (service_start, submit,
+            # job_start...) and more records are still coming.
+            tails = [_Tail(config.socket_path) for _ in range(2)]
+            for t in tails:
+                t.start()
+            for t in tails:
+                assert t.attached.wait(timeout=10.0)
+            client.submit([late])
+        handle.drain()
+        for t in tails:
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+        for t in tails:
+            events = [r["event"] for r in t.records]
+            # Replay reached back to the beginning...
+            assert events[0] == "service_start"
+            # ...and the live tail ran to the daemon's last breath.
+            assert "job_finish" in events
+            assert events[-1] == "service_stop"
+            assert_seq_discipline(t.records)
+        # Concurrent subscribers saw the identical stream.
+        assert tails[0].records == tails[1].records
+
+    def test_replay_only_stream_terminates(self, make_config):
+        config = make_config()
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                client.submit([spec("T-OK", {"x": 1})])
+            with ServiceClient(config.socket_path) as client:
+                records = list(client.events(replay=True, follow=False))
+        assert_seq_discipline(records)
+        events = [r["event"] for r in records]
+        assert "job_start" in events
+        assert "job_finish" in events
+
+
+class TestStoreShortCircuit:
+    def test_second_submission_dispatches_nothing(self, make_config):
+        config = make_config()
+        job = spec("T-OK", {"x": 9})
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                client.submit([job])
+                client.submit([job])
+                client.submit([job])
+                records = []
+                with ServiceClient(config.socket_path) as tap:
+                    records = list(tap.events(replay=True, follow=False))
+        starts = [r for r in records if r["event"] == "job_start"]
+        hits = [r for r in records if r["event"] == "cache_hit"]
+        assert len(starts) == 1, "store hits must not reach a worker"
+        assert len(hits) == 2
+        assert all(r["key"] == job.cache_key for r in starts + hits)
+        assert_seq_discipline(records)
+
+
+class TestRestartContinuity:
+    def test_seq_continues_across_daemon_restart(self, make_config):
+        config = make_config()
+        first, second = spec("T-OK", {"x": 1}), spec("T-OK", {"x": 2})
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                client.submit([first])
+        # Same cache dir → same journal file: the reborn daemon recovers
+        # it and keeps numbering where the old one stopped.
+        with ServiceThread(config):
+            with ServiceClient(config.socket_path) as client:
+                client.submit([second])
+                records = list(client.events(replay=True, follow=False))
+        events = [r["event"] for r in records]
+        assert events.count("service_start") == 2
+        assert events.count("service_stop") == 1  # the first life's
+        assert events.count("job_finish") == 2
+        assert_seq_discipline(records)
+
+    def test_tail_survives_until_drain_during_active_work(self, make_config):
+        config = make_config()
+        job = spec("T-SLEEPY", {"duration": 0.5}, fn="sleepy_job")
+        handle = ServiceThread(config).start()
+        tail = _Tail(config.socket_path)
+        tail.start()
+        assert tail.attached.wait(timeout=10.0)
+        with ServiceClient(config.socket_path) as client:
+            client.submit([job], wait=False)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if client.status()["inflight"]:
+                    break
+                time.sleep(0.02)
+            client.drain()
+        handle.drain()
+        tail.join(timeout=10.0)
+        assert not tail.is_alive()
+        events = [r["event"] for r in tail.records]
+        # The drained daemon finished the in-flight job and the tail saw
+        # the whole story: drain announcement, the finish, the stop.
+        assert "service_drain" in events
+        assert "job_finish" in events
+        assert events[-1] == "service_stop"
+        assert_seq_discipline(tail.records)
