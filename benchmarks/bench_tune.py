@@ -1,0 +1,12 @@
+"""Benchmark E15: schedule autotuning against the fixed families.
+
+Regenerates the experiment's report tables (recorded in EXPERIMENTS.md
+and BENCH_tune.json) and asserts every check — including that the tuned
+schedule beats the best fixed family at the committed grid point;
+pytest-benchmark tracks the search cost.
+"""
+
+
+def test_e15_autotune(run_experiment):
+    result = run_experiment("E15")
+    assert result.checks["tuned schedule beats the best fixed family"]

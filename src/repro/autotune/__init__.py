@@ -1,0 +1,66 @@
+"""Schedule autotuner: restartable search that closes the Belady gap.
+
+The paper's Theorem 1 bounds I/O from below; the measurable upper half
+of the sandwich is whatever schedule we run.  This package *searches*
+the schedule space for tighter upper halves: candidates are serialisable
+product-order genomes (:mod:`~repro.autotune.genome`), the objective is
+the **Belady gap** — measured I/O under offline-MIN eviction minus the
+Theorem-1 Ω-form bound — and every evaluation is a content-addressed
+runner job (:mod:`~repro.autotune.evaluate`) that dedupes through the
+sweep result store and the graph-bundle cache.
+
+Search state checkpoints to a per-line-checksummed journal
+(:mod:`~repro.autotune.journal`); a SIGKILLed search resumes exactly,
+replaying the interrupted generation from the journaled RNG state and
+answering re-proposed candidates from the store.  Strategies
+(:mod:`~repro.autotune.strategies`) are pluggable — hill-climb,
+annealing, genetic, the blocked/recursive hybrid portfolio, and a
+subprocess escape hatch for external solvers.
+
+Surfaced as ``python -m repro tune``; see also experiment E15 and the
+``tune-smoke`` CI job.
+"""
+
+from repro.autotune.driver import AutoTuner, TuneConfig, TuneResult
+from repro.autotune.evaluate import (
+    TUNE_EXPERIMENT_ID,
+    EvalRecord,
+    LocalEvaluator,
+    PoolEvaluator,
+    ServiceEvaluator,
+    evaluate_candidate,
+)
+from repro.autotune.genome import (
+    GENOME_VERSION,
+    GenomeContext,
+    genome_key,
+    hybrid_order,
+)
+from repro.autotune.journal import TuneJournal
+from repro.autotune.strategies import (
+    STRATEGIES,
+    Strategy,
+    TuneContext,
+    make_strategy,
+)
+
+__all__ = [
+    "AutoTuner",
+    "TuneConfig",
+    "TuneResult",
+    "TUNE_EXPERIMENT_ID",
+    "EvalRecord",
+    "LocalEvaluator",
+    "PoolEvaluator",
+    "ServiceEvaluator",
+    "evaluate_candidate",
+    "GENOME_VERSION",
+    "GenomeContext",
+    "genome_key",
+    "hybrid_order",
+    "TuneJournal",
+    "STRATEGIES",
+    "Strategy",
+    "TuneContext",
+    "make_strategy",
+]

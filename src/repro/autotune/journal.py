@@ -1,0 +1,110 @@
+"""Checksummed search journal: exact resume after a kill.
+
+The tuner's durable state is an append-only JSONL file.  Each line is
+one record; the ``sha256`` field is the hex digest of the record's
+canonical JSON *without* that field, so any torn tail or flipped bit is
+detected line-locally — :func:`TuneJournal.load` keeps the longest
+valid prefix and drops everything after the first damaged line (the
+same discipline as the runner's event journal, see PR 4's crash
+hardening).
+
+Record kinds (the driver's contract, asserted by the resume tests):
+
+- ``tune_start`` — canonical config + package version; a resume
+  refuses to continue a journal whose config disagrees;
+- ``generation`` — one per completed generation: strategy state, the
+  post-generation RNG state (``numpy`` bit-generator state is
+  JSON-native), new ledger entries, best-so-far, cumulative counts.
+  A kill *between* two of these replays the interrupted generation
+  from its recorded RNG state — identical proposals, answered from the
+  result store — so the resumed trajectory is bit-for-bit the
+  uninterrupted one;
+- ``tune_resume`` — marks each resume (diagnostic only);
+- ``tune_finish`` — terminal summary.
+
+Writes are flushed and fsynced per record: a SIGKILL can lose at most
+the line being written, never corrupt an earlier one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JOURNAL_VERSION", "TuneJournal", "record_checksum"]
+
+JOURNAL_VERSION = 1
+
+
+def record_checksum(record: dict) -> str:
+    """Hex sha256 of the canonical JSON of ``record`` (sans checksum)."""
+    doc = {k: v for k, v in record.items() if k != "sha256"}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TuneJournal:
+    """Append-only, per-line-checksummed JSONL journal."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+
+    def append(self, record: dict) -> None:
+        rec = dict(record)
+        rec["sha256"] = record_checksum(rec)
+        line = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def truncate(self) -> None:
+        """Discard the journal (a fresh, non-resumed search starting
+        over at the same path must not append to a previous run)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TuneJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> list[dict]:
+        """Valid records, in order, up to the first damaged line.
+
+        Missing file → empty list.  A truncated tail (no newline, cut
+        JSON) or a checksum mismatch ends the prefix; everything before
+        it is trusted.
+        """
+        p = Path(path)
+        if not p.exists():
+            return []
+        records: list[dict] = []
+        with open(p, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                if not isinstance(rec, dict):
+                    break
+                if rec.get("sha256") != record_checksum(rec):
+                    break
+                records.append(rec)
+        return records

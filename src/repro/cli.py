@@ -27,19 +27,27 @@ Subcommands:
 - ``submit``                — thin client for a running daemon: submit
   jobs (same id/``--param``/``--seeds`` grammar as ``sweep``), stream
   results, or ``--status`` / ``--drain`` / ``--ping`` it;
+- ``tune``                  — restartable schedule search minimising the
+  Belady gap: candidates are content-addressed jobs deduped through the
+  sweep store (or a running daemon via ``--socket``), search state
+  checkpoints to a checksummed journal, ``--resume`` continues a killed
+  search exactly (see :mod:`repro.autotune`);
 - ``render``                — DOT/ASCII rendering of a base graph.
 
-``sweep`` and ``submit`` accept ``--json``: after the human-readable
-output, one final machine-readable JSON line with the job/hit/failure
-counts and wall time.  Their exit codes: **0** — every job reached a
-successful terminal state; **1** — at least one job failed or was
-rejected; **2** (``submit`` only) — could not talk to the daemon
-(connection or protocol error).
+``sweep``, ``submit`` and ``tune`` accept ``--json``: after the
+human-readable output, one final machine-readable JSON line with the
+job/hit/failure counts and wall time.  Their exit codes: **0** — every
+job reached a successful terminal state (for ``tune``: the search
+completed, improved or not); **1** — at least one job failed or was
+rejected (for ``tune``: the search failed — no successful evaluation,
+journal mismatch, external-solver error); **2** (``submit`` and
+``tune --socket``) — could not talk to the daemon (connection or
+protocol error).
 
-``route``, ``experiments`` and ``sweep`` accept ``--profile`` (collect
-telemetry) and ``--trace-out PATH`` (write the collected spans as a
-Chrome ``trace_event`` file loadable in ``chrome://tracing``/Perfetto;
-implies ``--profile``).
+``route``, ``experiments``, ``sweep`` and ``tune`` accept ``--profile``
+(collect telemetry) and ``--trace-out PATH`` (write the collected spans
+as a Chrome ``trace_event`` file loadable in
+``chrome://tracing``/Perfetto; implies ``--profile``).
 
 Everything the CLI prints is computed by the same public API the tests
 exercise; the CLI adds no logic of its own.
@@ -441,6 +449,106 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain", action="store_true",
         help="ask the daemon to drain and exit",
     )
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="restartable schedule search that closes the Belady gap",
+        description=(
+            "Search demand-driven product orders for schedules whose "
+            "measured I/O under offline-MIN eviction approaches the "
+            "Theorem-1 bound (the Belady gap is the objective).  Every "
+            "candidate evaluation is a content-addressed job deduped "
+            "through the sweep result store, and search state "
+            "checkpoints to a checksummed journal, so a killed search "
+            "resumes exactly with --resume.  Exit codes: 0 — search "
+            "completed (improved or not); 1 — search failed (no "
+            "successful evaluation, journal/config mismatch, solver "
+            "error); 2 — daemon unreachable (--socket only)."
+        ),
+    )
+    p_tune.add_argument("--alg", default="strassen")
+    p_tune.add_argument("--r", type=int, default=3)
+    p_tune.add_argument(
+        "--M", type=int, default=24, dest="cache_size",
+        help="cache size for the objective (default 24)",
+    )
+    p_tune.add_argument(
+        "--policy", default="belady",
+        choices=["belady", "lru", "fifo"],
+        help="eviction policy the objective is measured under "
+             "(default belady: evaluates the order itself)",
+    )
+    p_tune.add_argument(
+        "--strategy", default="hillclimb",
+        choices=["anneal", "external", "genetic", "hillclimb", "portfolio"],
+        help="search strategy (default hillclimb)",
+    )
+    p_tune.add_argument(
+        "--budget", type=int, default=64, metavar="N",
+        help="candidate evaluations to spend; ledger and store hits "
+             "charge it too, so trajectories are cache-independent "
+             "(default 64)",
+    )
+    p_tune.add_argument(
+        "--generation", type=int, default=8, metavar="K",
+        help="proposals per generation / checkpoint granularity "
+             "(default 8)",
+    )
+    p_tune.add_argument("--seed", type=int, default=None)
+    p_tune.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="search checkpoint journal (default "
+             "<cache-dir>/tune/<config-hash>.jsonl)",
+    )
+    tune_mode = p_tune.add_mutually_exclusive_group()
+    tune_mode.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed search from its journal's last "
+             "completed generation (config must match)",
+    )
+    tune_mode.add_argument(
+        "--fresh", action="store_true",
+        help="bypass the result store and recompute every candidate",
+    )
+    p_tune.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-store root candidate jobs dedupe through "
+             "(default .repro-cache)",
+    )
+    p_tune.add_argument(
+        "--graph-cache", default=None, metavar="DIR",
+        help="compiled-graph bundle store evaluation workers attach",
+    )
+    p_tune.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="pool workers per generation (default 2)",
+    )
+    p_tune.add_argument(
+        "--local", action="store_true",
+        help="evaluate in-process against one shared executor instead "
+             "of the worker pool (fastest for small grids)",
+    )
+    p_tune.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="dispatch evaluations to the resident daemon on this "
+             "unix socket instead of a local pool",
+    )
+    p_tune.add_argument(
+        "--solver-cmd", default=None, metavar="CMD",
+        help="external strategy only: solver command (shell-quoted); "
+             "it receives the problem-file path as its last argument "
+             "and must print a JSON {\"order\": [...]} line",
+    )
+    p_tune.add_argument(
+        "--solver-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="external solver wall-clock limit (default 60)",
+    )
+    p_tune.add_argument(
+        "--json", action="store_true", dest="json_line",
+        help="after the report, print one machine-readable JSON "
+             "summary line",
+    )
+    _add_profile_flags(p_tune)
 
     p_render = sub.add_parser("render", help="render a base graph")
     p_render.add_argument("--alg", default="strassen")
@@ -888,6 +996,134 @@ def _cmd_submit(args) -> int:
     return code
 
 
+def _cmd_tune(args) -> int:
+    import hashlib
+    import json
+    import shlex
+    import time
+    from pathlib import Path
+
+    from repro.autotune import (
+        AutoTuner,
+        LocalEvaluator,
+        PoolEvaluator,
+        ServiceEvaluator,
+        TuneConfig,
+    )
+    from repro.errors import ReproError, ServiceError
+
+    t0 = time.monotonic()
+    config = TuneConfig(
+        alg=args.alg,
+        r=args.r,
+        cache_size=args.cache_size,
+        policy=args.policy,
+        strategy=args.strategy,
+        budget=args.budget,
+        generation=args.generation,
+        seed=args.seed,
+    )
+    journal_path = args.journal
+    if journal_path is None:
+        blob = json.dumps(config.describe(), sort_keys=True)
+        digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+        journal_path = str(Path(args.cache_dir) / "tune" / f"{digest}.jsonl")
+    Path(journal_path).parent.mkdir(parents=True, exist_ok=True)
+
+    strategy_options = {}
+    if args.strategy == "external":
+        strategy_options = {
+            "solver_cmd": shlex.split(args.solver_cmd or ""),
+            "cache_dir": str(Path(args.cache_dir) / "tune-problems"),
+            "timeout": args.solver_timeout,
+        }
+
+    profiled = _begin_profile(args)
+    evaluator = None
+    try:
+        if args.socket:
+            evaluator = ServiceEvaluator(
+                args.alg, args.r, args.cache_size, args.policy,
+                socket_path=args.socket, fresh=args.fresh,
+            )
+        elif args.local:
+            from repro.cdag import build_cdag
+
+            evaluator = LocalEvaluator(
+                build_cdag(by_name(args.alg), args.r),
+                args.cache_size, args.policy,
+            )
+        else:
+            from repro.runner import ResultStore
+
+            evaluator = PoolEvaluator(
+                args.alg, args.r, args.cache_size, args.policy,
+                store=ResultStore(args.cache_dir),
+                workers=args.jobs,
+                graph_cache=args.graph_cache,
+                fresh=args.fresh,
+            )
+        tuner = AutoTuner(
+            config,
+            evaluator,
+            journal=journal_path,
+            strategy_options=strategy_options,
+            resume=args.resume,
+        )
+        result = tuner.run()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 1
+        if args.json_line:
+            _emit_json_line("tune", {
+                "error": str(exc),
+                "wall_s": round(time.monotonic() - t0, 6),
+                "exit_code": code,
+            })
+        return code
+    finally:
+        if evaluator is not None:
+            evaluator.close()
+
+    wall = time.monotonic() - t0
+    s = result.summary()
+    n = by_name(args.alg).n0**args.r
+    table = TextTable(
+        ["quantity", "value"],
+        title=(
+            f"tune {args.alg} r={args.r} (n={n}) M={args.cache_size} "
+            f"{args.policy} [{args.strategy}]"
+        ),
+    )
+    table.add_row(["start I/O", s["start_io"]])
+    table.add_row(["best I/O", s["best_io"]])
+    table.add_row(["Theorem-1 bound", s["lower"]])
+    table.add_row(["Belady gap", s["best_gap"]])
+    table.add_row(["improvement", f"{100 * s['improvement']:.2f}%"])
+    table.add_row(["evaluations", s["evaluations"]])
+    table.add_row(["cache hits", s["cache_hits"]])
+    table.add_row(["failures", s["failures"]])
+    table.add_row(["generations", s["generations"]])
+    print(table.render())
+    print(
+        f"{'resumed' if result.resumed else 'searched'} in {wall:.2f}s; "
+        f"journal: {journal_path}"
+    )
+    if profiled:
+        _finish_profile(args, "tune")
+    if args.json_line:
+        _emit_json_line("tune", {
+            **s,
+            "journal": journal_path,
+            "wall_s": round(wall, 6),
+            "exit_code": 0,
+        })
+    return 0
+
+
 def _cmd_render(args) -> int:
     from repro.cdag import ascii_ranks, build_cdag, to_dot
 
@@ -921,6 +1157,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "render":
         return _cmd_render(args)
     raise AssertionError("unreachable")  # pragma: no cover

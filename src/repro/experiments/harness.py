@@ -80,4 +80,5 @@ def _ensure_loaded() -> None:
     # Import experiment modules lazily to avoid import cycles.
     from repro.experiments import (  # noqa: F401
         e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14,
+        e15,
     )

@@ -57,6 +57,7 @@ from repro.cdag import artifact as _artifact
 from repro.cdag.graph import CDAG
 from repro.errors import CacheError, ScheduleError
 from repro.pebbling.machine import MachineModel
+from repro.telemetry.metrics import metrics
 from repro.telemetry.spans import span
 
 __all__ = ["EXECUTOR_VERSION", "IOResult", "CacheExecutor", "simulate_io"]
@@ -292,6 +293,7 @@ class CacheExecutor:
         key = hashlib.blake2b(schedule.tobytes(), digest_size=16).digest()
         plan = self._plans.get(key)
         if plan is None:
+            metrics().inc("pebbling.plan.miss")
             cache = _artifact.active_cache()
             if cache is not None:
                 plan = cache.get_plan(self, schedule, key.hex(), validate)
@@ -302,9 +304,16 @@ class CacheExecutor:
             if len(self._plans) >= self._MAX_CACHED_PLANS:
                 self._plans.pop(next(iter(self._plans)))
             self._plans[key] = plan
-        elif validate and not plan.validated:
-            self.validate_schedule(schedule)
-            plan.validated = True
+        else:
+            # LRU touch: re-insert so neighbourhood searches that cycle
+            # through more than _MAX_CACHED_PLANS candidates keep their
+            # frequently re-evaluated incumbents compiled.
+            metrics().inc("pebbling.plan.hit")
+            self._plans.pop(key)
+            self._plans[key] = plan
+            if validate and not plan.validated:
+                self.validate_schedule(schedule)
+                plan.validated = True
         return plan
 
     def compile(self, schedule, validate: bool = True) -> _SchedulePlan:
@@ -380,6 +389,21 @@ class CacheExecutor:
         sp.add("spill_reads", result.spill_reads)
         sp.add("spill_writes", result.spill_writes)
         sp.set("peak_cache", result.peak_cache)
+        # Belady-gap gauge (measured total minus the Theorem-1 Ω-form
+        # bound) on every run — the autotuner's objective, and the ad
+        # hoc quantity the experiments used to derive locally.  It is a
+        # registry gauge, not a span counter: the span counter set is an
+        # exact observable contract (see the counter-identity suite).
+        alg = getattr(self.cdag, "alg", None)
+        if alg is not None:
+            from repro.bounds.theorem1 import io_lower_bound
+
+            lower = io_lower_bound(
+                alg, alg.n0**self.cdag.r, result.cache_size
+            )
+            metrics().gauge("pebbling.belady_gap").set(
+                result.total - lower
+            )
 
     # ------------------------------------------------------------------
 

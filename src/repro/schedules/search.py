@@ -1,15 +1,23 @@
 """Local search over schedules: probing the lower bound from above.
 
 The I/O-complexity is a minimum over *all* schedules; any fixed family
-(even the recursive one) only brackets it from above.  This module runs
-a budgeted hill-climb over demand-driven product orders — neighbourhood:
-swap two contiguous blocks of the product sequence — to search for
-schedules better than the recursive one.  Its empirical finding (used as
-a check in the E13 ablations and the test suite) is that the search
-never improves on the recursive order by more than a few percent, while
-random orders are far worse: evidence the recursive schedule is a
-near-optimal representative, which is what makes the E9 sandwich
-meaningful.
+(even the recursive one) only brackets it from above.  This module is
+now a thin wrapper over the autotuner subsystem
+(:mod:`repro.autotune`): the budgeted hill-climb it used to implement
+inline survives as the autotuner's ``hillclimb`` strategy,
+draw-for-draw identical (same neighbourhood — swap two contiguous
+blocks of the product sequence — same RNG draws, same attempts cap), so
+fixed-seed search trajectories are unchanged.  Its empirical finding
+(used as a check in the E13 ablations and the test suite) is that the
+search never improves on the recursive order by more than a few
+percent, while random orders are far worse: evidence the recursive
+schedule is a near-optimal representative, which is what makes the E9
+sandwich meaningful.
+
+Candidate evaluations run through one shared
+:class:`~repro.pebbling.executor.CacheExecutor`, so re-visited
+candidates come from its content-keyed plan cache (and an exact-repeat
+memo) instead of recompiling a plan per candidate.
 """
 
 from __future__ import annotations
@@ -19,9 +27,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cdag.graph import CDAG
-from repro.pebbling.executor import CacheExecutor
-from repro.schedules.base import demand_driven_schedule
-from repro.utils.rngs import make_rng
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SearchResult", "search_schedule"]
@@ -65,44 +70,29 @@ def search_schedule(
         order itself, independent of online-policy noise).
     """
     check_positive_int(budget, "budget")
-    rng = make_rng(seed)
-    executor = CacheExecutor(cdag)
-    n_products = len(cdag.products())
-    order = (
-        np.arange(n_products)
-        if start_order is None
-        else np.asarray(start_order, dtype=np.int64).copy()
+    from repro.autotune import AutoTuner, LocalEvaluator, TuneConfig
+
+    config = TuneConfig(
+        alg=cdag.alg.name,
+        r=cdag.r,
+        cache_size=int(cache_size),
+        policy=policy,
+        strategy="hillclimb",
+        budget=budget,
+        generation=1,
+        seed=seed,
     )
-
-    def io_of(candidate: np.ndarray) -> int:
-        sched = demand_driven_schedule(cdag, candidate)
-        return executor.run(sched, cache_size, policy, validate=False).total
-
-    best = order
-    best_io = io_of(order)
-    start_io = best_io
-    evaluations = 1
-    attempts = 0
-    while evaluations < budget and attempts < 20 * budget:
-        attempts += 1
-        # Neighbour: swap two random contiguous blocks of equal length.
-        length = int(rng.integers(1, max(2, n_products // 8)))
-        i, j = sorted(rng.integers(0, n_products - length, size=2).tolist())
-        if i + length > j:
-            continue  # overlapping draw; retry (bounded by attempts)
-        candidate = best.copy()
-        candidate[i : i + length], candidate[j : j + length] = (
-            best[j : j + length].copy(),
-            best[i : i + length].copy(),
-        )
-        candidate_io = io_of(candidate)
-        evaluations += 1
-        if candidate_io < best_io:
-            best, best_io = candidate, candidate_io
+    tuner = AutoTuner(
+        config,
+        LocalEvaluator(cdag, cache_size, policy),
+        start_order=start_order,
+        algorithm=cdag.alg,
+    )
+    result = tuner.run()
     return SearchResult(
-        best_io=best_io,
-        start_io=start_io,
-        evaluations=evaluations,
-        improved=best_io < start_io,
-        best_product_order=best,
+        best_io=result.best_io,
+        start_io=result.start_io,
+        evaluations=result.evaluations,
+        improved=result.improved,
+        best_product_order=result.best_order,
     )

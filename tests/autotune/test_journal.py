@@ -1,0 +1,60 @@
+"""The checksummed tune journal: valid-prefix loading, crash safety."""
+
+import json
+
+from repro.autotune.journal import TuneJournal, record_checksum
+
+
+def _write(path, records):
+    with TuneJournal(path) as j:
+        for rec in records:
+            j.append(rec)
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write(path, [{"kind": "tune_start", "x": 1}, {"kind": "generation"}])
+        records = TuneJournal.load(path)
+        assert [r["kind"] for r in records] == ["tune_start", "generation"]
+        for rec in records:
+            assert rec["sha256"] == record_checksum(rec)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert TuneJournal.load(tmp_path / "absent.jsonl") == []
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write(path, [{"kind": "tune_start"}, {"kind": "generation"}])
+        with open(path, "a") as fh:
+            fh.write('{"kind": "generation", "tr')  # SIGKILL mid-write
+        records = TuneJournal.load(path)
+        assert [r["kind"] for r in records] == ["tune_start", "generation"]
+
+    def test_flipped_bit_ends_prefix(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write(path, [{"kind": "tune_start"}, {"kind": "generation", "gen": 0},
+                      {"kind": "generation", "gen": 1}])
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[1])
+        doc["gen"] = 7  # checksum no longer matches
+        lines[1] = json.dumps(doc)
+        path.write_text("\n".join(lines) + "\n")
+        records = TuneJournal.load(path)
+        # Damage is detected line-locally; everything after is dropped.
+        assert [r.get("gen") for r in records] == [None]
+
+    def test_truncate_starts_over(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        journal = TuneJournal(path)
+        journal.append({"kind": "tune_start"})
+        journal.truncate()
+        assert not path.exists()
+        journal.append({"kind": "tune_start", "fresh": True})
+        journal.close()
+        records = TuneJournal.load(path)
+        assert len(records) == 1 and records[0]["fresh"] is True
+
+    def test_checksum_ignores_itself(self):
+        rec = {"kind": "x", "sha256": "bogus"}
+        assert record_checksum(rec) == record_checksum({"kind": "x"})

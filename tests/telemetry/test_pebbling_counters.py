@@ -12,6 +12,7 @@ import pytest
 
 from repro import telemetry
 from repro.bilinear import strassen
+from repro.bounds.theorem1 import io_lower_bound
 from repro.cdag import build_cdag
 from repro.pebbling import CacheExecutor
 from repro.schedules import recursive_schedule
@@ -85,3 +86,42 @@ def test_run_many_emits_identical_spans(workload):
     assert len(batched) == len(results)
     for M, policy, counters in one_by_one:
         assert batched[(M, policy)] == counters
+
+
+def test_belady_gap_gauge_emitted_per_run(workload):
+    """Every run sets the ``pebbling.belady_gap`` registry gauge to the
+    measured total minus the Theorem-1 Ω-form bound — the autotuner's
+    objective.  It is a registry gauge, not a span counter, so the exact
+    span-counter contract above is untouched."""
+    g, sched = workload
+    telemetry.enable()
+    ex = CacheExecutor(g)
+    alg = g.alg
+    n = alg.n0**g.r
+    for i, (cache_size, policy) in enumerate(CONFIGS):
+        telemetry.reset()
+        res = ex.run(sched, cache_size, policy)
+        gauge = telemetry.metrics().gauge("pebbling.belady_gap")
+        assert gauge.count == 1
+        assert gauge.last == res.total - io_lower_bound(alg, n, cache_size)
+        # The span counter set stays exactly the reference contract.
+        (sp,) = _finished()
+        assert "belady_gap" not in sp["counters"]
+
+
+def test_plan_cache_counters(workload):
+    """Repeat runs of one schedule hit the executor's content-keyed plan
+    cache; the hit/miss counters make that observable (the autotuner's
+    satellite requirement: candidate re-evaluation must not recompile)."""
+    g, sched = workload
+    telemetry.enable()
+    telemetry.reset()
+    ex = CacheExecutor(g)
+    ex.run(sched, 8, "belady")
+    reg = telemetry.metrics()
+    assert reg.counter("pebbling.plan.miss").value == 1
+    assert reg.counter("pebbling.plan.hit").value == 0
+    for _ in range(3):
+        ex.run(sched, 8, "belady")
+    assert reg.counter("pebbling.plan.miss").value == 1
+    assert reg.counter("pebbling.plan.hit").value == 3

@@ -167,3 +167,77 @@ class TestSweepCommand:
     def test_fresh_and_resume_conflict(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--fresh", "--resume"])
+
+
+class TestTuneCommand:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "tune", "--alg", "strassen", "--r", "2", "--M", "12",
+            "--budget", "10", "--generation", "4", "--seed", "3",
+            "--local", "--cache-dir", str(tmp_path), *extra,
+        ]
+
+    def test_tune_runs_and_reports(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, "--strategy", "anneal")) == 0
+        out = capsys.readouterr().out
+        assert "best I/O" in out
+        assert "Belady gap" in out
+        assert "journal:" in out
+
+    def test_tune_json_line(self, capsys, tmp_path):
+        import json
+
+        assert main(
+            self._argv(tmp_path, "--strategy", "portfolio", "--json")
+        ) == 0
+        line = capsys.readouterr().out.strip().splitlines()[-1]
+        doc = json.loads(line)
+        assert doc["command"] == "tune"
+        assert doc["exit_code"] == 0
+        assert doc["best_io"] <= doc["start_io"]
+        assert doc["evaluations"] <= 10
+
+    def test_tune_resume_after_finish_is_idempotent(self, capsys, tmp_path):
+        journal = tmp_path / "t.jsonl"
+        argv = self._argv(tmp_path, "--journal", str(journal))
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+        # Identical best line either way.
+        pick = [ln for ln in first.splitlines() if "best I/O" in ln]
+        assert pick == [ln for ln in second.splitlines() if "best I/O" in ln]
+
+    def test_tune_resume_config_mismatch_exits_1(self, capsys, tmp_path):
+        journal = tmp_path / "t.jsonl"
+        assert main(self._argv(tmp_path, "--journal", str(journal))) == 0
+        capsys.readouterr()
+        argv = [
+            "tune", "--alg", "strassen", "--r", "2", "--M", "12",
+            "--budget", "11", "--generation", "4", "--seed", "3",
+            "--local", "--cache-dir", str(tmp_path),
+            "--journal", str(journal), "--resume",
+        ]
+        assert main(argv) == 1
+        assert "config mismatch" in capsys.readouterr().err
+
+    def test_tune_unreachable_daemon_exits_2(self, tmp_path):
+        argv = [
+            "tune", "--r", "2", "--M", "12", "--budget", "4",
+            "--cache-dir", str(tmp_path),
+            "--socket", str(tmp_path / "absent.sock"),
+        ]
+        assert main(argv) == 2
+
+    def test_tune_fresh_and_resume_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--fresh", "--resume"])
+
+    def test_tune_profile_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            self._argv(tmp_path, "--trace-out", str(trace))
+        ) == 0
+        assert trace.exists()
+        assert "trace:" in capsys.readouterr().out
