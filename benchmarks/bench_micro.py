@@ -138,6 +138,24 @@ def make_cases() -> dict:
         for M in e9_Ms:
             for sched, pol in e9_grid:
                 reference_run(g5, sched, M, pol)
+
+    # Paired kernel cases: the same E9 n=32 grid with the compiled
+    # kernels pinned off vs compiled.  run_benchmarks derives their
+    # ratio into "kernel_speedup".  The njit case only exists when
+    # numba is importable — without it the kernel algorithm would run
+    # under the plain interpreter (the equivalence-test mode, ~an order
+    # of magnitude *slower* than the fallback loops), and a pair that
+    # labels that "njit" would be noise, so the pair (and the derived
+    # ratio) is emitted on compiled installs only.
+    from repro.pebbling import kernels
+
+    def kernel_e09_python():
+        with kernels.forced_mode("off"):
+            e9_n32_core()
+
+    def kernel_e09_njit():
+        with kernels.forced_mode("jit"):
+            e9_n32_core()
     # Paired graph-cache cases: the warm path loads every graph,
     # schedule and executor plan for the E9 depth ladder from a
     # pre-warmed bundle store through a *fresh* GraphCache instance per
@@ -199,6 +217,14 @@ def make_cases() -> dict:
         # simulator; their ratio lands in "executor_e9_n32_speedup".
         "executor_e9_n32_grid_core": e9_n32_core,
         "executor_e9_n32_grid_reference": e9_n32_reference,
+        **(
+            {
+                "kernel_e09_python": kernel_e09_python,
+                "kernel_e09_njit": kernel_e09_njit,
+            }
+            if kernels.HAVE_NUMBA
+            else {}
+        ),
         "graphcache_e9_cold_compile": graphcache_cold,
         "graphcache_e9_warm_compile": graphcache_warm,
         "lemma3_routing_k3": lambda: lemma3_routing(g3),
@@ -247,6 +273,7 @@ def run_benchmarks(repeats: int = 3, select: str | None = None) -> dict:
          "executor_sweep_run_many", "executor_sweep_repeated_run"),
         ("executor_e9_n32_speedup",
          "executor_e9_n32_grid_core", "executor_e9_n32_grid_reference"),
+        ("kernel_speedup", "kernel_e09_njit", "kernel_e09_python"),
         ("graphcache_warm_speedup",
          "graphcache_e9_warm_compile", "graphcache_e9_cold_compile"),
     ):

@@ -17,6 +17,15 @@ schedule is skipped there (its I/O grows like the cubic term and
 dominates the runtime without adding a check) — which extends the slope
 series by one more doubling.  Pass ``r_big=None`` to skip it (the quick
 test configurations do).
+
+With the compiled pebbling kernels active (numba installed,
+``REPRO_NO_JIT`` unset) the grid steps inside one ``run_grid`` call per
+schedule, which is what makes the extended grid — ``r_big=7``
+(n = 128), the crossover regime against the tight classical bound of
+Smith et al. and the memory-independent parallel bounds of Demmel et
+al. — complete in seconds instead of minutes.  ``workers`` partitions
+each ``run_many`` grid across a process pool on top of that
+(``workers=None`` defers to ``REPRO_RUN_MANY_WORKERS``).
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ def run(
     cache_sizes=(12, 24, 48, 96),
     r_big: int | None = 6,
     big_cache_sizes=(12, 96),
+    workers: int | None = None,
 ) -> ExperimentResult:
     alg = strassen()
     table = TextTable(
@@ -54,10 +64,12 @@ def run(
         g = build_cdag(alg, r)
         executor = CacheExecutor(g)
         rec = executor.run_many(
-            recursive_schedule(g), Ms, ("belady", "lru")
+            recursive_schedule(g), Ms, ("belady", "lru"), workers=workers
         )
         rank = (
-            executor.run_many(rank_order_schedule(g), Ms, ("lru",))
+            executor.run_many(
+                rank_order_schedule(g), Ms, ("lru",), workers=workers
+            )
             if with_rank
             else {}
         )

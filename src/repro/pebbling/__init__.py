@@ -3,6 +3,8 @@
 - :mod:`repro.pebbling.machine`: the machine model (paper Section 1);
 - :mod:`repro.pebbling.cache`: eviction policies (LRU, FIFO, Belady);
 - :mod:`repro.pebbling.executor`: I/O counting for a schedule;
+- :mod:`repro.pebbling.kernels`: compiled (numba) step/eviction loops,
+  with bit-identical pure-Python fallback dispatch;
 - :mod:`repro.pebbling.pebble_game`: strict red-blue pebble game [10];
 - :mod:`repro.pebbling.segments`: the paper's segment-counting argument
   (Definition 1, Equations 1-2) measured on real executions.
@@ -17,6 +19,7 @@ from repro.pebbling.cache import (
     make_policy,
 )
 from repro.pebbling.executor import IOResult, CacheExecutor, simulate_io
+from repro.pebbling import kernels
 from repro.pebbling.pebble_game import (
     Move,
     MoveKind,
@@ -45,6 +48,7 @@ __all__ = [
     "IOResult",
     "CacheExecutor",
     "simulate_io",
+    "kernels",
     "Move",
     "MoveKind",
     "PebbleGame",

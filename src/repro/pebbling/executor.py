@@ -28,36 +28,52 @@ The simulator is array-backed: a schedule is compiled once into a
 :class:`_SchedulePlan` — flat CSR-style operand arrays gathered from the
 CDAG's predecessor CSR, per-occurrence *next-use* times (a backward-scan
 linked list, so Belady needs no per-vertex Python lists or cursor
-dicts), per-vertex first-use times and initial use counts — and the
-inner loop runs over dense structures indexed by vertex id (flat
-bitmaps for cached/dirty/in-slow, flat ``uses_left``/``last_touch``
-arrays) instead of per-step sets and dicts.  Victim selection is a lazy
-min-heap for every policy (O(log) amortised instead of an
-O(|candidates|) scan), with the same deterministic tie-break on vertex
-id as the reference policy objects in :mod:`repro.pebbling.cache` —
-:func:`~repro.pebbling.pebble_game.trace_from_executor` replays runs
-through those reference policies and the equivalence is asserted by the
-golden tests.
+dicts), per-vertex first-use times and initial use counts.
+
+Two simulation paths run over a plan:
+
+- **compiled kernels** (:mod:`repro.pebbling.kernels`): numba ``@njit``
+  step loops over flat int64 arrays, taken whenever numba is importable
+  and ``REPRO_NO_JIT`` is unset.  Plans loaded from graph-cache bundles
+  feed the kernels straight from their read-only memmaps — no
+  ``ensure_lists`` materialisation on this path;
+- **pure-Python loops** (the fallback, kept bit-identical): dense flat
+  structures indexed by vertex id (flat bitmaps for cached/dirty/
+  in-slow, per-vertex stamp/key lists) with a lazy min-heap replacing
+  the reference implementation's O(|candidates|) scans.
+
+Both paths make the exact victim choices of the reference policy
+objects in :mod:`repro.pebbling.cache` — the golden-equivalence tests
+enforce bit-identity across schedules x policies x cache sizes, and the
+``pebbling.kernel.{jit,interp,fallback}`` counters record which path
+each run took.
 
 Plans are cached on the executor and shared across cache sizes and
 policies; :meth:`CacheExecutor.run_many` exposes that reuse as a batched
 sweep API (validate once, precompute once, run every ``(M, policy)``
-configuration).
+configuration — in one compiled ``run_grid`` call on the kernel path,
+and optionally partitioned across a ``ProcessPoolExecutor`` via
+``workers=`` for multi-core scaling).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from heapq import heappop, heappush
 
 import numpy as np
 
+import repro.pebbling.kernels as kernels
 from repro.cdag import artifact as _artifact
 from repro.cdag.graph import CDAG
 from repro.errors import CacheError, ScheduleError
 from repro.pebbling.machine import MachineModel
 from repro.telemetry.metrics import metrics
+from repro.telemetry.spans import enabled as _telemetry_enabled
 from repro.telemetry.spans import span
 
 __all__ = ["EXECUTOR_VERSION", "IOResult", "CacheExecutor", "simulate_io"]
@@ -66,6 +82,12 @@ __all__ = ["EXECUTOR_VERSION", "IOResult", "CacheExecutor", "simulate_io"]
 #: any change to :class:`_SchedulePlan`'s arrays (meaning, dtype, order)
 #: re-keys every on-disk plan instead of mis-decoding it.
 EXECUTOR_VERSION = "1"
+
+#: Environment variable: default worker count for
+#: :meth:`CacheExecutor.run_many` grid partitioning (0/unset = serial).
+ENV_RUN_MANY_WORKERS = "REPRO_RUN_MANY_WORKERS"
+
+_POLICY_CODES = {"lru": 0, "fifo": 1, "belady": 2}
 
 
 @dataclass(frozen=True)
@@ -115,22 +137,25 @@ class _SchedulePlan:
       predecessors of the vertex computed at step ``t``);
     - ``occ_next``: for each occurrence, the next step at which the same
       vertex is used again (``T`` = never) — the backward-scan next-use
-      linked list Belady keys evictions on;
+      linked list Belady keys evictions on (computed in one vectorised
+      pass, shared by every cache size and policy of a batch);
     - ``first_use``: per vertex, the first step using it (``T`` = never);
     - ``uses_left0``: per vertex, total number of uses.
 
-    The hot loop indexes these as Python lists (cheaper per element than
-    numpy scalars); the lists are materialised lazily on first simulate
-    so a plan loaded from a bundle but never run (warm-up, key checks)
-    stays a handful of cheap memmaps.  The numpy originals stay
-    available for callers.
+    The compiled kernels consume these arrays directly via
+    :meth:`kernel_arrays` — for a plan loaded from a bundle they stay
+    read-only memmaps end to end.  The pure-Python fallback loops index
+    them as Python lists (cheaper per element than numpy scalars),
+    materialised lazily on first fallback simulate by
+    :meth:`ensure_lists`; a plan that only ever runs on the kernel path
+    (or is loaded but never run) never pays that materialisation.
     """
 
     __slots__ = (
         "schedule", "step_indptr", "step_ops", "occ_next", "first_use",
         "uses_left0", "n_steps", "validated",
         "_sched_l", "_indptr_l", "_ops_l", "_occ_next_l", "_first_use_l",
-        "_uses_l",
+        "_uses_l", "_kernel_arrays",
     )
 
     def __init__(self, cdag: CDAG, schedule: np.ndarray, validated: bool):
@@ -164,6 +189,7 @@ class _SchedulePlan:
         self.first_use = first_use
         self.uses_left0 = np.bincount(step_ops, minlength=n).astype(np.int64)
         self._sched_l = None
+        self._kernel_arrays = None
 
     def to_arrays(self) -> dict[str, np.ndarray]:
         """The plan's serialisable arrays (bundle format; names match
@@ -192,10 +218,12 @@ class _SchedulePlan:
         self.n_steps = len(self.schedule)
         self.validated = validated
         self._sched_l = None
+        self._kernel_arrays = None
         return self
 
     def ensure_lists(self) -> None:
-        """Materialise the hot-loop Python lists (idempotent)."""
+        """Materialise the fallback loops' Python lists (idempotent;
+        the kernel path never calls this)."""
         if self._sched_l is None:
             self._sched_l = self.schedule.tolist()
             self._indptr_l = self.step_indptr.tolist()
@@ -203,6 +231,23 @@ class _SchedulePlan:
             self._occ_next_l = self.occ_next.tolist()
             self._first_use_l = self.first_use.tolist()
             self._uses_l = self.uses_left0.tolist()
+
+    def kernel_arrays(self) -> tuple[np.ndarray, ...]:
+        """The plan's arrays as the compiled kernels consume them:
+        C-contiguous int64, in :data:`~repro.cdag.artifact.
+        PLAN_ARRAY_NAMES` order.  For bundle-loaded plans these are the
+        memmaps themselves (zero-copy — the kernels only read them)."""
+        ka = self._kernel_arrays
+        if ka is None:
+            ka = self._kernel_arrays = _artifact.plan_kernel_arrays({
+                "schedule": self.schedule,
+                "step_indptr": self.step_indptr,
+                "step_ops": self.step_ops,
+                "occ_next": self.occ_next,
+                "first_use": self.first_use,
+                "uses_left0": self.uses_left0,
+            })
+        return ka
 
 
 def _gather_operands(
@@ -222,6 +267,367 @@ def _gather_operands(
     step_ops = indices[gather]
     occ_time = np.repeat(np.arange(T, dtype=np.int64), counts)
     return step_indptr, step_ops, occ_time
+
+
+# ----------------------------------------------------------------------
+# Simulation core (module-level so pool workers can run configurations
+# without shipping a CDAG or CacheExecutor across the process boundary).
+# ----------------------------------------------------------------------
+
+
+def _counts_to_result(
+    counts, cache_size: int, policy: str, machine: MachineModel
+) -> tuple[IOResult, int]:
+    """Fold a raw count tuple into an :class:`IOResult` under the
+    machine's I/O accounting switches; returns ``(result, evictions)``."""
+    (reads, writes, input_reads, spill_reads, spill_writes,
+     output_writes, peak, evictions) = counts
+    if not machine.count_input_reads:
+        reads -= input_reads
+    if not machine.count_output_writes:
+        writes -= output_writes
+    result = IOResult(
+        cache_size=cache_size,
+        policy=policy,
+        reads=reads,
+        writes=writes,
+        input_reads=input_reads if machine.count_input_reads else 0,
+        spill_reads=spill_reads,
+        spill_writes=spill_writes,
+        output_writes=output_writes if machine.count_output_writes else 0,
+        peak_cache=peak,
+    )
+    return result, evictions
+
+
+def _raise_kernel_status(sc) -> None:
+    """Map a kernel status code onto the executor's exception contract."""
+    status = int(sc[kernels.STATUS])
+    if status == kernels.STATUS_OPERAND_MISSING:
+        raise ScheduleError(
+            f"operand {int(sc[kernels.ERR_A])} of {int(sc[kernels.ERR_B])} "
+            "is neither cached nor in slow memory"
+        )
+    if status == kernels.STATUS_NO_VICTIM:
+        raise CacheError("no eviction candidate available")
+
+
+def _simulate(plan, is_input, is_output, cache_size, policy, io_trace):
+    """Run one configuration over a compiled plan, dispatching to the
+    compiled kernels when active and to the pure-Python loops otherwise
+    (``REPRO_NO_JIT=1`` or numba absent).  Returns the raw count tuple
+    ``(reads, writes, input_reads, spill_reads, spill_writes,
+    output_writes, peak, evictions)``."""
+    code = _POLICY_CODES.get(policy)
+    if code is None:
+        raise CacheError(f"unknown eviction policy {policy!r}")
+    mode = kernels.active_mode()
+    if mode != "off":
+        trace_arr = (
+            np.zeros(plan.n_steps, dtype=np.int64)
+            if io_trace is not None else None
+        )
+        sc = kernels.simulate_plan(
+            plan.kernel_arrays(),
+            np.ascontiguousarray(is_input).view(np.uint8),
+            np.ascontiguousarray(is_output).view(np.uint8),
+            cache_size, code, trace_arr,
+        )
+        _raise_kernel_status(sc)
+        if io_trace is not None:
+            io_trace.extend(trace_arr.tolist())
+        if _telemetry_enabled():
+            metrics().inc(f"pebbling.kernel.{mode}")
+        return tuple(int(x) for x in sc[:8])
+    if _telemetry_enabled():
+        metrics().inc("pebbling.kernel.fallback")
+    n = len(is_input)
+    if code == 2:
+        return _py_simulate_belady(
+            plan, is_input, is_output, n, cache_size, io_trace
+        )
+    return _py_simulate_recency(
+        plan, is_input, is_output, n, cache_size, code == 0, io_trace
+    )
+
+
+# -- pure-Python fallback loops ----------------------------------------
+#
+# Two near-identical loops (recency-stamped LRU/FIFO vs next-use keyed
+# Belady).  State is flat and dense: bytearray bitmaps plus per-vertex
+# stamp/key lists, with a lazy heap replacing the reference
+# implementation's O(|candidates|) min scans.  Victim choices are
+# bit-identical to the reference policy objects
+# (:mod:`repro.pebbling.cache`) *and* to the compiled kernels; the
+# golden-equivalence tests enforce this across schedules x policies x
+# cache sizes.
+
+
+def _py_simulate_recency(
+    plan, is_input_arr, is_output_arr, n, cache_size, refresh_on_use, io_trace
+):
+    plan.ensure_lists()
+    sched = plan._sched_l
+    indptr = plan._indptr_l
+    ops = plan._ops_l
+    uses_left = list(plan._uses_l)
+    is_input = is_input_arr.tolist()
+    is_output = is_output_arr.tolist()
+    cached = bytearray(n)
+    dirty = bytearray(n)
+    in_slow = bytearray(np.ascontiguousarray(is_input_arr).tobytes())
+    output_written = bytearray(n)
+    stamp = [0] * n          # last touch (LRU) / insertion time (FIFO)
+    pinned_mark = [-1] * n
+    heap: list[tuple[int, int]] = []
+
+    reads = writes = input_reads = spill_reads = spill_writes = 0
+    output_writes = 0
+    peak = n_cached = evictions = 0
+    t = 0
+
+    def evict_one() -> None:
+        # Lazy-heap victim selection: the top fresh, cached,
+        # unpinned entry is min((stamp, v)) over the candidate set —
+        # exactly the reference policies' scan.  Fresh entries of
+        # pinned vertices are set aside and re-pushed, so they stay
+        # eligible for later evictions.
+        nonlocal writes, spill_writes, output_writes, evictions, n_cached
+        aside = None
+        while True:
+            if not heap:
+                raise CacheError("no eviction candidate available")
+            tm, u = heap[0]
+            if not cached[u] or stamp[u] != tm:
+                heappop(heap)       # stale: evicted or re-touched
+                continue
+            if pinned_mark[u] == t:
+                if aside is None:
+                    aside = []
+                aside.append(heappop(heap))
+                continue
+            break
+        if aside:
+            for entry in aside:
+                heappush(heap, entry)
+        evictions += 1
+        cached[u] = 0
+        n_cached -= 1
+        if dirty[u]:
+            if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
+                writes += 1
+                in_slow[u] = 1
+                if is_output[u]:
+                    output_writes += 1
+                    output_written[u] = 1
+                else:
+                    spill_writes += 1
+            dirty[u] = 0
+
+    for t, v in enumerate(sched):
+        start = indptr[t]
+        end = indptr[t + 1]
+        pinned_mark[v] = t
+        for i in range(start, end):
+            pinned_mark[ops[i]] = t
+        # Load missing operands.
+        for i in range(start, end):
+            p = ops[i]
+            if cached[p]:
+                if refresh_on_use and stamp[p] != t:
+                    stamp[p] = t
+                    heappush(heap, (t, p))
+            else:
+                if not in_slow[p]:
+                    raise ScheduleError(
+                        f"operand {p} of {v} is neither cached nor "
+                        "in slow memory"
+                    )
+                while n_cached >= cache_size:
+                    evict_one()
+                cached[p] = 1
+                n_cached += 1
+                stamp[p] = t
+                heappush(heap, (t, p))
+                reads += 1
+                if is_input[p]:
+                    input_reads += 1
+                else:
+                    spill_reads += 1
+        # Make room for the result and compute.
+        while n_cached >= cache_size:
+            evict_one()
+        if not cached[v]:
+            cached[v] = 1
+            n_cached += 1
+        dirty[v] = 1
+        stamp[v] = t
+        heappush(heap, (t, v))
+        if n_cached > peak:
+            peak = n_cached
+        for i in range(start, end):
+            uses_left[ops[i]] -= 1
+        if io_trace is not None:
+            io_trace.append(reads + writes)
+
+    # Drain: outputs still dirty must reach slow memory.
+    for u in range(n):
+        if dirty[u] and is_output[u] and not output_written[u]:
+            writes += 1
+            output_writes += 1
+            output_written[u] = 1
+
+    return (reads, writes, input_reads, spill_reads, spill_writes,
+            output_writes, peak, evictions)
+
+
+def _py_simulate_belady(
+    plan, is_input_arr, is_output_arr, n, cache_size, io_trace
+):
+    plan.ensure_lists()
+    sched = plan._sched_l
+    indptr = plan._indptr_l
+    ops = plan._ops_l
+    occ_next = plan._occ_next_l
+    first_use = plan._first_use_l
+    uses_left = list(plan._uses_l)
+    is_input = is_input_arr.tolist()
+    is_output = is_output_arr.tolist()
+    cached = bytearray(n)
+    dirty = bytearray(n)
+    in_slow = bytearray(np.ascontiguousarray(is_input_arr).tobytes())
+    output_written = bytearray(n)
+    # Current next-use key per vertex; plan.n_steps is the "never
+    # used again" sentinel (sorts exactly like the reference's +inf:
+    # every real next use is a smaller step index).
+    key = [0] * n
+    pinned_mark = [-1] * n
+    # Max-heap entries (-next_use, v): the top entry is the furthest
+    # next use, ties broken on the smaller vertex id — the reference
+    # BeladyPolicy's order.  Pops are destructive for non-candidate
+    # entries, matching the reference's lazy invalidation exactly.
+    heap: list[tuple[int, int]] = []
+
+    reads = writes = input_reads = spill_reads = spill_writes = 0
+    output_writes = 0
+    peak = n_cached = evictions = 0
+    t = 0
+
+    def evict_one() -> None:
+        nonlocal writes, spill_writes, output_writes, evictions, n_cached
+        u = -1
+        while heap:
+            negn, u = heap[0]
+            if not cached[u] or pinned_mark[u] == t:
+                heappop(heap)
+                continue
+            cur = key[u]
+            if -negn != cur:
+                heappop(heap)       # stale: re-key and retry
+                heappush(heap, (-cur, u))
+                continue
+            break
+        else:
+            # Heap exhausted (candidate entries were consumed while
+            # pinned): deterministic fallback, smallest vertex id.
+            u = cached.find(1)
+            while u >= 0 and pinned_mark[u] == t:
+                u = cached.find(1, u + 1)
+            if u < 0:
+                raise CacheError("no eviction candidate available")
+        evictions += 1
+        cached[u] = 0
+        n_cached -= 1
+        if dirty[u]:
+            if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
+                writes += 1
+                in_slow[u] = 1
+                if is_output[u]:
+                    output_writes += 1
+                    output_written[u] = 1
+                else:
+                    spill_writes += 1
+            dirty[u] = 0
+
+    for t, v in enumerate(sched):
+        start = indptr[t]
+        end = indptr[t + 1]
+        pinned_mark[v] = t
+        for i in range(start, end):
+            pinned_mark[ops[i]] = t
+        for i in range(start, end):
+            p = ops[i]
+            if not cached[p]:
+                if not in_slow[p]:
+                    raise ScheduleError(
+                        f"operand {p} of {v} is neither cached nor "
+                        "in slow memory"
+                    )
+                while n_cached >= cache_size:
+                    evict_one()
+                cached[p] = 1
+                n_cached += 1
+                reads += 1
+                if is_input[p]:
+                    input_reads += 1
+                else:
+                    spill_reads += 1
+        while n_cached >= cache_size:
+            evict_one()
+        if not cached[v]:
+            cached[v] = 1
+            n_cached += 1
+        dirty[v] = 1
+        nxt = first_use[v]
+        key[v] = nxt
+        heappush(heap, (-nxt, v))
+        if n_cached > peak:
+            peak = n_cached
+        # Refresh: exactly one heap entry per operand use, pushed
+        # *after* the compute so it survives this step's evictions
+        # (while pinned, an operand's entries can be destructively
+        # popped — the post-compute push is the one that matters,
+        # and is what the reference's refresh ``on_use`` provides).
+        for i in range(start, end):
+            p = ops[i]
+            nxt = occ_next[i]
+            key[p] = nxt
+            heappush(heap, (-nxt, p))
+            uses_left[p] -= 1
+        if io_trace is not None:
+            io_trace.append(reads + writes)
+
+    for u in range(n):
+        if dirty[u] and is_output[u] and not output_written[u]:
+            writes += 1
+            output_writes += 1
+            output_written[u] = 1
+
+    return (reads, writes, input_reads, spill_reads, spill_writes,
+            output_writes, peak, evictions)
+
+
+def _partition_worker(arrays, is_input, is_output, configs):
+    """Pool-worker entry for :meth:`CacheExecutor.run_many` grid
+    partitioning: rebuild the plan from its (validated) arrays and run
+    this partition's ``(M, policy)`` configurations.
+
+    Telemetry is disabled in the worker — the parent re-emits the
+    per-configuration spans and counters from the returned raw counts,
+    so the batched sweep stays counter-identical to its serial
+    equivalent.  Returns ``(wall_s, kernel_mode, [counts, ...])``.
+    """
+    from repro.telemetry import spans as _spans
+
+    _spans.disable()
+    t0 = time.perf_counter()
+    plan = _SchedulePlan.from_arrays(arrays, validated=True)
+    out = []
+    for cache_size, policy in configs:
+        out.append(
+            _simulate(plan, is_input, is_output, cache_size, policy, None)
+        )
+    return time.perf_counter() - t0, kernels.active_mode(), out
 
 
 class CacheExecutor:
@@ -347,7 +753,11 @@ class CacheExecutor:
             result, evictions = self._run(
                 schedule, cache_size, policy, validate, machine, io_trace
             )
-            self._record_run_counters(sp, result, evictions)
+            # One enabled-check for the whole telemetry block: while
+            # disabled, a run pays nothing beyond this bool (no span
+            # counters, no belady-gap gauge / lower-bound evaluation).
+            if _telemetry_enabled():
+                self._record_run_counters(sp, result, evictions)
             return result
 
     def run_many(
@@ -356,30 +766,120 @@ class CacheExecutor:
         cache_sizes,
         policies=("lru",),
         validate: bool = True,
+        workers: int | None = None,
     ) -> dict[tuple[int, str], IOResult]:
         """Batched sweep: run every ``(cache_size, policy)``
         configuration over one schedule, validating it and building the
         use-list precompute exactly once.
 
+        On the compiled path the whole grid is stepped by one
+        ``run_grid`` kernel call.  With ``workers > 1`` (or
+        ``REPRO_RUN_MANY_WORKERS`` set) the grid is partitioned
+        round-robin across a ``ProcessPoolExecutor`` — one
+        ``pebbling.run_many.partition`` span per partition records the
+        worker wall time and path taken.
+
         Returns ``{(cache_size, policy): IOResult}``.  Telemetry is
         identical to the equivalent sequence of :meth:`run` calls (one
-        ``pebbling.run`` span per configuration).
+        ``pebbling.run`` span per configuration, counters included —
+        the parent re-emits them for partitioned runs).
         """
         plan = self._plan(schedule, validate)
+        configs = [(int(M), str(p)) for M in cache_sizes for p in policies]
+        machines: dict[int, MachineModel] = {}
+        for M, _ in configs:
+            if M not in machines:
+                machines[M] = MachineModel(cache_size=M)
+                machines[M].check_executable(self.cdag)
+        if workers is None:
+            workers = int(os.environ.get(ENV_RUN_MANY_WORKERS, "0") or 0)
+        record = _telemetry_enabled()
         results: dict[tuple[int, str], IOResult] = {}
-        for M in cache_sizes:
-            M = int(M)
-            machine = MachineModel(cache_size=M)
-            for policy in policies:
-                with span(
-                    "pebbling.run", policy=policy, cache_size=M
-                ) as sp:
-                    result, evictions = self._execute(
-                        plan, M, policy, machine, None
+
+        if workers and workers > 1 and len(configs) > 1:
+            raw = self._run_partitions(plan, configs, workers, record)
+            for M, policy in configs:
+                with span("pebbling.run", policy=policy, cache_size=M) as sp:
+                    result, evictions = _counts_to_result(
+                        raw[(M, policy)], M, policy, machines[M]
                     )
-                    self._record_run_counters(sp, result, evictions)
+                    if record:
+                        self._record_run_counters(sp, result, evictions)
                 results[(M, policy)] = result
+            return results
+
+        mode = kernels.active_mode()
+        if mode != "off":
+            # One compiled call for the entire grid.
+            grid = kernels.run_grid(
+                plan.kernel_arrays(),
+                np.ascontiguousarray(self.is_input).view(np.uint8),
+                np.ascontiguousarray(self.is_output).view(np.uint8),
+                [M for M, _ in configs],
+                [_POLICY_CODES[p] for _, p in configs],
+            )
+            for j, (M, policy) in enumerate(configs):
+                sc = grid[j]
+                _raise_kernel_status(sc)
+                with span("pebbling.run", policy=policy, cache_size=M) as sp:
+                    result, evictions = _counts_to_result(
+                        tuple(int(x) for x in sc[:8]), M, policy, machines[M]
+                    )
+                    if record:
+                        metrics().inc(f"pebbling.kernel.{mode}")
+                        self._record_run_counters(sp, result, evictions)
+                results[(M, policy)] = result
+            return results
+
+        for M, policy in configs:
+            with span("pebbling.run", policy=policy, cache_size=M) as sp:
+                result, evictions = self._execute(
+                    plan, M, policy, machines[M], None
+                )
+                if record:
+                    self._record_run_counters(sp, result, evictions)
+            results[(M, policy)] = result
         return results
+
+    def _run_partitions(self, plan, configs, workers: int, record: bool):
+        """Fan a config grid out over a process pool; returns the raw
+        count tuples ``{(M, policy): counts}``."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        n_parts = min(int(workers), len(configs))
+        parts = [configs[i::n_parts] for i in range(n_parts)]
+        # Plans may wrap read-only memmaps; to_arrays() yields plain
+        # contiguous arrays that pickle by value.
+        arrays = plan.to_arrays()
+        raw: dict[tuple[int, str], tuple] = {}
+        with span(
+            "pebbling.run_many", partitions=n_parts, configs=len(configs)
+        ):
+            with ProcessPoolExecutor(max_workers=n_parts) as pool:
+                futures = [
+                    pool.submit(
+                        _partition_worker, arrays, self.is_input,
+                        self.is_output, part,
+                    )
+                    for part in parts
+                ]
+                for i, (future, part) in enumerate(zip(futures, parts)):
+                    wall, mode, counts_list = future.result()
+                    with span(
+                        "pebbling.run_many.partition", partition=i
+                    ) as sp:
+                        sp.set("configs", len(part))
+                        sp.set("worker_wall_s", round(wall, 6))
+                        sp.set("path", mode)
+                    if record:
+                        name = (
+                            f"pebbling.kernel.{mode}" if mode != "off"
+                            else "pebbling.kernel.fallback"
+                        )
+                        metrics().inc(name, len(part))
+                    for cfg, counts in zip(part, counts_list):
+                        raw[cfg] = counts
+        return raw
 
     def _record_run_counters(self, sp, result: IOResult, evictions: int) -> None:
         sp.add("scheduled", self.cdag.n_vertices - int(self.is_input.sum()))
@@ -420,284 +920,37 @@ class CacheExecutor:
         self, plan, cache_size, policy, machine, io_trace
     ) -> tuple[IOResult, int]:
         machine.check_executable(self.cdag)
-        if policy in ("lru", "fifo"):
-            counts = self._simulate_recency(
-                plan, cache_size, policy == "lru", io_trace
-            )
-        elif policy == "belady":
-            counts = self._simulate_belady(plan, cache_size, io_trace)
-        else:
-            raise CacheError(f"unknown eviction policy {policy!r}")
-        (reads, writes, input_reads, spill_reads, spill_writes,
-         output_writes, peak, evictions) = counts
-
-        if not machine.count_input_reads:
-            reads -= input_reads
-        if not machine.count_output_writes:
-            writes -= output_writes
-
-        result = IOResult(
-            cache_size=cache_size,
-            policy=policy,
-            reads=reads,
-            writes=writes,
-            input_reads=input_reads if machine.count_input_reads else 0,
-            spill_reads=spill_reads,
-            spill_writes=spill_writes,
-            output_writes=output_writes if machine.count_output_writes else 0,
-            peak_cache=peak,
+        counts = _simulate(
+            plan, self.is_input, self.is_output, cache_size, policy, io_trace
         )
-        return result, evictions
+        return _counts_to_result(counts, cache_size, policy, machine)
 
-    # -- hot loops -----------------------------------------------------
-    #
-    # Two near-identical loops (recency-stamped LRU/FIFO vs next-use
-    # keyed Belady).  State is flat and dense: bytearray bitmaps plus
-    # per-vertex stamp/key lists, with a lazy heap replacing the
-    # reference implementation's O(|candidates|) min scans.  Victim
-    # choices are bit-identical to the reference policy objects
-    # (:mod:`repro.pebbling.cache`); the golden-equivalence tests
-    # enforce this across schedules x policies x cache sizes.
 
-    def _simulate_recency(self, plan, cache_size, refresh_on_use, io_trace):
-        n = self.cdag.n_vertices
-        plan.ensure_lists()
-        sched = plan._sched_l
-        indptr = plan._indptr_l
-        ops = plan._ops_l
-        uses_left = list(plan._uses_l)
-        is_input = self.is_input.tolist()
-        is_output = self.is_output.tolist()
-        cached = bytearray(n)
-        dirty = bytearray(n)
-        in_slow = bytearray(self.is_input.tobytes())
-        output_written = bytearray(n)
-        stamp = [0] * n          # last touch (LRU) / insertion time (FIFO)
-        pinned_mark = [-1] * n
-        heap: list[tuple[int, int]] = []
+# ----------------------------------------------------------------------
+# Shared executors for the one-shot convenience path.
+# ----------------------------------------------------------------------
 
-        reads = writes = input_reads = spill_reads = spill_writes = 0
-        output_writes = 0
-        peak = n_cached = evictions = 0
-        t = 0
+_MAX_SHARED_EXECUTORS = 4
+_shared_executors: "OrderedDict[str, CacheExecutor]" = OrderedDict()
 
-        def evict_one() -> None:
-            # Lazy-heap victim selection: the top fresh, cached,
-            # unpinned entry is min((stamp, v)) over the candidate set —
-            # exactly the reference policies' scan.  Fresh entries of
-            # pinned vertices are set aside and re-pushed, so they stay
-            # eligible for later evictions.
-            nonlocal writes, spill_writes, output_writes, evictions, n_cached
-            aside = None
-            while True:
-                if not heap:
-                    raise CacheError("no eviction candidate available")
-                tm, u = heap[0]
-                if not cached[u] or stamp[u] != tm:
-                    heappop(heap)       # stale: evicted or re-touched
-                    continue
-                if pinned_mark[u] == t:
-                    if aside is None:
-                        aside = []
-                    aside.append(heappop(heap))
-                    continue
-                break
-            if aside:
-                for entry in aside:
-                    heappush(heap, entry)
-            evictions += 1
-            cached[u] = 0
-            n_cached -= 1
-            if dirty[u]:
-                if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
-                    writes += 1
-                    in_slow[u] = 1
-                    if is_output[u]:
-                        output_writes += 1
-                        output_written[u] = 1
-                    else:
-                        spill_writes += 1
-                dirty[u] = 0
 
-        for t, v in enumerate(sched):
-            start = indptr[t]
-            end = indptr[t + 1]
-            pinned_mark[v] = t
-            for i in range(start, end):
-                pinned_mark[ops[i]] = t
-            # Load missing operands.
-            for i in range(start, end):
-                p = ops[i]
-                if cached[p]:
-                    if refresh_on_use and stamp[p] != t:
-                        stamp[p] = t
-                        heappush(heap, (t, p))
-                else:
-                    if not in_slow[p]:
-                        raise ScheduleError(
-                            f"operand {p} of {v} is neither cached nor "
-                            "in slow memory"
-                        )
-                    while n_cached >= cache_size:
-                        evict_one()
-                    cached[p] = 1
-                    n_cached += 1
-                    stamp[p] = t
-                    heappush(heap, (t, p))
-                    reads += 1
-                    if is_input[p]:
-                        input_reads += 1
-                    else:
-                        spill_reads += 1
-            # Make room for the result and compute.
-            while n_cached >= cache_size:
-                evict_one()
-            if not cached[v]:
-                cached[v] = 1
-                n_cached += 1
-            dirty[v] = 1
-            stamp[v] = t
-            heappush(heap, (t, v))
-            if n_cached > peak:
-                peak = n_cached
-            for i in range(start, end):
-                uses_left[ops[i]] -= 1
-            if io_trace is not None:
-                io_trace.append(reads + writes)
-
-        # Drain: outputs still dirty must reach slow memory.
-        for u in range(n):
-            if dirty[u] and is_output[u] and not output_written[u]:
-                writes += 1
-                output_writes += 1
-                output_written[u] = 1
-
-        return (reads, writes, input_reads, spill_reads, spill_writes,
-                output_writes, peak, evictions)
-
-    def _simulate_belady(self, plan, cache_size, io_trace):
-        n = self.cdag.n_vertices
-        plan.ensure_lists()
-        sched = plan._sched_l
-        indptr = plan._indptr_l
-        ops = plan._ops_l
-        occ_next = plan._occ_next_l
-        first_use = plan._first_use_l
-        uses_left = list(plan._uses_l)
-        is_input = self.is_input.tolist()
-        is_output = self.is_output.tolist()
-        cached = bytearray(n)
-        dirty = bytearray(n)
-        in_slow = bytearray(self.is_input.tobytes())
-        output_written = bytearray(n)
-        # Current next-use key per vertex; plan.n_steps is the "never
-        # used again" sentinel (sorts exactly like the reference's +inf:
-        # every real next use is a smaller step index).
-        key = [0] * n
-        pinned_mark = [-1] * n
-        # Max-heap entries (-next_use, v): the top entry is the furthest
-        # next use, ties broken on the smaller vertex id — the reference
-        # BeladyPolicy's order.  Pops are destructive for non-candidate
-        # entries, matching the reference's lazy invalidation exactly.
-        heap: list[tuple[int, int]] = []
-
-        reads = writes = input_reads = spill_reads = spill_writes = 0
-        output_writes = 0
-        peak = n_cached = evictions = 0
-        t = 0
-
-        def evict_one() -> None:
-            nonlocal writes, spill_writes, output_writes, evictions, n_cached
-            u = -1
-            while heap:
-                negn, u = heap[0]
-                if not cached[u] or pinned_mark[u] == t:
-                    heappop(heap)
-                    continue
-                cur = key[u]
-                if -negn != cur:
-                    heappop(heap)       # stale: re-key and retry
-                    heappush(heap, (-cur, u))
-                    continue
-                break
-            else:
-                # Heap exhausted (candidate entries were consumed while
-                # pinned): deterministic fallback, smallest vertex id.
-                u = cached.find(1)
-                while u >= 0 and pinned_mark[u] == t:
-                    u = cached.find(1, u + 1)
-                if u < 0:
-                    raise CacheError("no eviction candidate available")
-            evictions += 1
-            cached[u] = 0
-            n_cached -= 1
-            if dirty[u]:
-                if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
-                    writes += 1
-                    in_slow[u] = 1
-                    if is_output[u]:
-                        output_writes += 1
-                        output_written[u] = 1
-                    else:
-                        spill_writes += 1
-                dirty[u] = 0
-
-        for t, v in enumerate(sched):
-            start = indptr[t]
-            end = indptr[t + 1]
-            pinned_mark[v] = t
-            for i in range(start, end):
-                pinned_mark[ops[i]] = t
-            for i in range(start, end):
-                p = ops[i]
-                if not cached[p]:
-                    if not in_slow[p]:
-                        raise ScheduleError(
-                            f"operand {p} of {v} is neither cached nor "
-                            "in slow memory"
-                        )
-                    while n_cached >= cache_size:
-                        evict_one()
-                    cached[p] = 1
-                    n_cached += 1
-                    reads += 1
-                    if is_input[p]:
-                        input_reads += 1
-                    else:
-                        spill_reads += 1
-            while n_cached >= cache_size:
-                evict_one()
-            if not cached[v]:
-                cached[v] = 1
-                n_cached += 1
-            dirty[v] = 1
-            nxt = first_use[v]
-            key[v] = nxt
-            heappush(heap, (-nxt, v))
-            if n_cached > peak:
-                peak = n_cached
-            # Refresh: exactly one heap entry per operand use, pushed
-            # *after* the compute so it survives this step's evictions
-            # (while pinned, an operand's entries can be destructively
-            # popped — the post-compute push is the one that matters,
-            # and is what the reference's refresh ``on_use`` provides).
-            for i in range(start, end):
-                p = ops[i]
-                nxt = occ_next[i]
-                key[p] = nxt
-                heappush(heap, (-nxt, p))
-                uses_left[p] -= 1
-            if io_trace is not None:
-                io_trace.append(reads + writes)
-
-        for u in range(n):
-            if dirty[u] and is_output[u] and not output_written[u]:
-                writes += 1
-                output_writes += 1
-                output_written[u] = 1
-
-        return (reads, writes, input_reads, spill_reads, spill_writes,
-                output_writes, peak, evictions)
+def _shared_executor(cdag: CDAG) -> CacheExecutor:
+    """A content-keyed process-local :class:`CacheExecutor` for
+    ``cdag`` — so repeated :func:`simulate_io` calls (tests, notebooks)
+    reuse compiled plans instead of recompiling per call, graph cache or
+    not.  Graphs without an algorithm identity get a fresh executor."""
+    if getattr(cdag, "alg", None) is None:
+        return CacheExecutor(cdag)
+    key = _artifact.cdag_graph_key(cdag)
+    executor = _shared_executors.get(key)
+    if executor is None:
+        executor = CacheExecutor(cdag)
+        while len(_shared_executors) >= _MAX_SHARED_EXECUTORS:
+            _shared_executors.popitem(last=False)
+        _shared_executors[key] = executor
+    else:
+        _shared_executors.move_to_end(key)
+    return executor
 
 
 def simulate_io(
@@ -707,7 +960,11 @@ def simulate_io(
     policy: str = "lru",
     validate: bool = True,
 ) -> IOResult:
-    """One-shot convenience wrapper around :class:`CacheExecutor`."""
-    return CacheExecutor(cdag).run(
+    """One-shot convenience wrapper around :class:`CacheExecutor`.
+
+    Executors are shared per graph content key, so back-to-back calls
+    on the same (graph, schedule) hit the in-process plan cache — the
+    ``pebbling.plan.{hit,miss}`` counters make the reuse observable."""
+    return _shared_executor(cdag).run(
         schedule, cache_size=cache_size, policy=policy, validate=validate
     )

@@ -8,13 +8,19 @@ assert that every ``IOResult`` field, the eviction count and the full
 cumulative ``io_trace`` agree exactly — not approximately.  Any
 divergence in victim selection shows up here long before it would bend
 an experiment curve.
+
+The whole grid runs against *both* executor paths: the pure-Python
+fallback loops (``off``) and the kernel algorithm from
+:mod:`repro.pebbling.kernels` (``interp`` when numba is absent, so the
+exact code numba would compile runs under the plain interpreter; the
+compiled ``jit`` path when numba is installed).
 """
 
 import pytest
 
 from repro.bilinear import classical, strassen
 from repro.cdag import build_cdag
-from repro.pebbling import CacheExecutor, min_cache_size
+from repro.pebbling import CacheExecutor, kernels, min_cache_size
 from repro.schedules import (
     random_topological_schedule,
     rank_order_schedule,
@@ -24,6 +30,14 @@ from repro.schedules import (
 from ._reference import reference_run
 
 POLICIES = ("lru", "fifo", "belady")
+PATHS = ("off", "jit" if kernels.HAVE_NUMBA else "interp")
+
+
+@pytest.fixture(params=PATHS)
+def sim_path(request):
+    """Run the test body under one executor dispatch mode."""
+    with kernels.forced_mode(request.param):
+        yield request.param
 
 
 def _cases():
@@ -47,7 +61,7 @@ CASES = _cases()
 
 @pytest.mark.parametrize("label,g,sched", CASES, ids=[c[0] for c in CASES])
 @pytest.mark.parametrize("policy", POLICIES)
-def test_bit_identical_to_reference(label, g, sched, policy):
+def test_bit_identical_to_reference(label, g, sched, policy, sim_path):
     ex = CacheExecutor(g)
     m0 = min_cache_size(g)
     for cache_size in (m0, m0 + 3, 2 * m0, g.n_vertices + 1):
@@ -62,7 +76,7 @@ def test_bit_identical_to_reference(label, g, sched, policy):
         assert trace_new == trace_ref, (label, policy, cache_size)
 
 
-def test_run_many_matches_reference():
+def test_run_many_matches_reference(sim_path):
     """The batched sweep API returns the same results as one-at-a-time
     reference runs for every (cache_size, policy) configuration."""
     g = build_cdag(strassen(), 2)
@@ -75,7 +89,7 @@ def test_run_many_matches_reference():
         assert res == ref, (M, policy)
 
 
-def test_run_matches_run_many():
+def test_run_matches_run_many(sim_path):
     """run() and run_many() share the plan cache and agree exactly."""
     g = build_cdag(strassen(), 2)
     sched = recursive_schedule(g)
@@ -83,3 +97,14 @@ def test_run_matches_run_many():
     many = ex.run_many(sched, (8, 24), ("lru", "belady"))
     for (M, policy), res in many.items():
         assert ex.run(sched, M, policy) == res
+
+
+def test_partitioned_run_many_matches_reference(sim_path):
+    """The ProcessPoolExecutor grid partitioning returns exactly what
+    the serial sweep does (workers rebuild the plan from its arrays)."""
+    g = build_cdag(strassen(), 2)
+    sched = recursive_schedule(g)
+    ex = CacheExecutor(g)
+    serial = ex.run_many(sched, (8, 12, 24), POLICIES)
+    parallel = ex.run_many(sched, (8, 12, 24), POLICIES, workers=3)
+    assert parallel == serial

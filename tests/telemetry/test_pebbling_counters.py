@@ -14,7 +14,7 @@ from repro import telemetry
 from repro.bilinear import strassen
 from repro.bounds.theorem1 import io_lower_bound
 from repro.cdag import build_cdag
-from repro.pebbling import CacheExecutor
+from repro.pebbling import CacheExecutor, kernels
 from repro.schedules import recursive_schedule
 
 from ..pebbling._reference import reference_run
@@ -125,3 +125,101 @@ def test_plan_cache_counters(workload):
         ex.run(sched, 8, "belady")
     assert reg.counter("pebbling.plan.miss").value == 1
     assert reg.counter("pebbling.plan.hit").value == 3
+
+
+KERNEL_MODE = "jit" if kernels.HAVE_NUMBA else "interp"
+
+
+def test_kernel_path_counter_per_simulation(workload):
+    """Each simulation increments exactly one
+    ``pebbling.kernel.{jit,interp,fallback}`` path counter — through
+    run() and once per configuration through run_many()."""
+    g, sched = workload
+    telemetry.enable()
+    ex = CacheExecutor(g)
+
+    with kernels.forced_mode(KERNEL_MODE):
+        telemetry.reset()
+        ex.run(sched, 8, "belady")
+        reg = telemetry.metrics()
+        assert reg.counter(f"pebbling.kernel.{KERNEL_MODE}").value == 1
+        assert reg.counter("pebbling.kernel.fallback").value == 0
+        ex.run_many(sched, (8, 12), ("lru", "belady"))
+        assert reg.counter(f"pebbling.kernel.{KERNEL_MODE}").value == 5
+
+    with kernels.forced_mode("off"):
+        telemetry.reset()
+        ex.run(sched, 8, "belady")
+        ex.run_many(sched, (8, 12), ("lru", "belady"))
+        reg = telemetry.metrics()
+        assert reg.counter("pebbling.kernel.fallback").value == 5
+        assert reg.counter(f"pebbling.kernel.{KERNEL_MODE}").value == 0
+
+
+def test_kernel_counters_identical_across_paths(workload):
+    """Bit-identity extends to telemetry: the span counters of a kernel
+    simulation equal the fallback's (and hence the reference's)."""
+    g, sched = workload
+    telemetry.enable()
+    ex = CacheExecutor(g)
+    for cache_size, policy in CONFIGS:
+        with kernels.forced_mode(KERNEL_MODE):
+            telemetry.reset()
+            ex.run(sched, cache_size, policy)
+            (sp,) = _finished()
+            assert sp["counters"] == _expected_counters(
+                g, sched, cache_size, policy
+            )
+
+
+def test_kernel_compile_gauge_set_once(workload):
+    """The first kernel invocation publishes the
+    ``pebbling.kernel.compile_s`` gauge exactly once per registry life
+    (on a cold numba cache the value is dominated by JIT compilation)."""
+    g, sched = workload
+    telemetry.enable()
+    telemetry.reset()
+    ex = CacheExecutor(g)
+    with kernels.forced_mode(KERNEL_MODE):
+        ex.run(sched, 8, "lru")
+        ex.run(sched, 12, "belady")
+    gauge = telemetry.metrics().gauge("pebbling.kernel.compile_s")
+    assert gauge.count == 1
+    assert gauge.last >= 0.0
+
+
+def test_disabled_telemetry_skips_run_counters(workload):
+    """With telemetry disabled, runs leave the registry untouched — no
+    belady-gap gauge evaluation, no kernel path counters (the hoisted
+    disabled-path check)."""
+    g, sched = workload
+    telemetry.disable()
+    telemetry.reset()
+    ex = CacheExecutor(g)
+    ex.run(sched, 8, "belady")
+    ex.run_many(sched, (8, 12), ("lru", "belady"))
+    reg = telemetry.metrics()
+    assert reg.gauge("pebbling.belady_gap").count == 0
+    for path in ("jit", "interp", "fallback"):
+        assert reg.counter(f"pebbling.kernel.{path}").value == 0
+    # Plan cache accounting stays unconditional (cheap, and the
+    # autotuner's dedupe contract reads it).
+    assert reg.counter("pebbling.plan.miss").value == 1
+
+
+def test_simulate_io_reuses_plans_across_calls(workload):
+    """The simulate_io convenience path shares a content-keyed executor
+    per graph, so repeated calls hit the in-process plan cache instead
+    of recompiling (no graph cache required)."""
+    from repro.pebbling import simulate_io
+
+    g, sched = workload
+    telemetry.enable()
+    telemetry.reset()
+    first = simulate_io(g, sched, 8, "belady")
+    reg = telemetry.metrics()
+    misses = reg.counter("pebbling.plan.miss").value
+    for _ in range(3):
+        assert simulate_io(g, sched, 8, "belady") == first
+    assert reg.counter("pebbling.plan.miss").value == misses
+    assert reg.counter("pebbling.plan.hit").value >= 3
