@@ -156,6 +156,37 @@ def make_cases() -> dict:
     def kernel_e09_njit():
         with kernels.forced_mode("jit"):
             e9_n32_core()
+
+    # Paired lockstep cases: one E9-shaped configuration grid (cache
+    # sizes x policies over the n=32 recursive schedule) run as a single
+    # lockstep run_grid call vs one compiled per-config pass per cell.
+    # Both legs are jit; the ratio ("grid_lockstep_speedup") isolates
+    # what the (config, slot) batching + chunk threading buy over the
+    # PR-8 style per-configuration kernel loop.
+    from repro.simcore import SchedulePlan
+
+    plan5 = SchedulePlan(g5, sched5, validated=False)
+    arrays5 = plan5.kernel_arrays()
+    is_input5 = g5.in_degree() == 0
+    is_output5 = np.zeros(g5.n_vertices, dtype=bool)
+    is_output5[g5.outputs()] = True
+    iu8_5 = np.ascontiguousarray(is_input5).view(np.uint8)
+    ou8_5 = np.ascontiguousarray(is_output5).view(np.uint8)
+    lock_Ms = np.array(
+        [M for M in (8, 12, 16, 24, 32, 48, 64, 96) for _ in range(3)],
+        dtype=np.int64,
+    )
+    lock_codes = np.array([0, 1, 2] * 8, dtype=np.int64)
+
+    def grid_lockstep_batched():
+        with kernels.forced_mode("jit"):
+            kernels.run_grid(arrays5, iu8_5, ou8_5, lock_Ms, lock_codes)
+
+    def grid_lockstep_per_config():
+        with kernels.forced_mode("jit"):
+            for M, code in zip(lock_Ms, lock_codes):
+                kernels.simulate_plan(arrays5, iu8_5, ou8_5, int(M),
+                                      int(code))
     # Paired graph-cache cases: the warm path loads every graph,
     # schedule and executor plan for the E9 depth ladder from a
     # pre-warmed bundle store through a *fresh* GraphCache instance per
@@ -221,6 +252,8 @@ def make_cases() -> dict:
             {
                 "kernel_e09_python": kernel_e09_python,
                 "kernel_e09_njit": kernel_e09_njit,
+                "grid_lockstep_batched": grid_lockstep_batched,
+                "grid_lockstep_per_config": grid_lockstep_per_config,
             }
             if kernels.HAVE_NUMBA
             else {}
@@ -274,6 +307,8 @@ def run_benchmarks(repeats: int = 3, select: str | None = None) -> dict:
         ("executor_e9_n32_speedup",
          "executor_e9_n32_grid_core", "executor_e9_n32_grid_reference"),
         ("kernel_speedup", "kernel_e09_njit", "kernel_e09_python"),
+        ("grid_lockstep_speedup",
+         "grid_lockstep_batched", "grid_lockstep_per_config"),
         ("graphcache_warm_speedup",
          "graphcache_e9_warm_compile", "graphcache_e9_cold_compile"),
     ):

@@ -18,14 +18,17 @@ dominates the runtime without adding a check) — which extends the slope
 series by one more doubling.  Pass ``r_big=None`` to skip it (the quick
 test configurations do).
 
-With the compiled pebbling kernels active (numba installed,
-``REPRO_NO_JIT`` unset) the grid steps inside one ``run_grid`` call per
-schedule, which is what makes the extended grid — ``r_big=7``
-(n = 128), the crossover regime against the tight classical bound of
-Smith et al. and the memory-independent parallel bounds of Demmel et
-al. — complete in seconds instead of minutes.  ``workers`` partitions
-each ``run_many`` grid across a process pool on top of that
-(``workers=None`` defers to ``REPRO_RUN_MANY_WORKERS``).
+With the compiled kernels active (numba installed, ``REPRO_NO_JIT``
+unset) each schedule's ``(M, policy)`` grid advances through the
+simulation core's *lockstep* kernel — one time-major pass over the
+schedule steps every configuration row together
+(:mod:`repro.simcore.grid`), chunked across threads — which is what
+makes the extended grid — ``r_big=7`` (n = 128), the crossover regime
+against the tight classical bound of Smith et al. and the
+memory-independent parallel bounds of Demmel et al. — complete in
+seconds instead of minutes.  ``workers`` partitions each ``run_many``
+grid across a process pool on top of that (``workers=None`` defers to
+``REPRO_RUN_MANY_WORKERS``).
 """
 
 from __future__ import annotations

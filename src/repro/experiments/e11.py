@@ -30,6 +30,7 @@ from repro.parallel import (
     validate_rank_balanced,
 )
 from repro.utils.tables import TextTable
+from repro.utils.validation import check_power
 
 __all__ = ["run"]
 
@@ -45,7 +46,13 @@ def run(n: int = 2**10) -> ExperimentResult:
         title="E11: CAPS bandwidth vs Theorem 1's parallel bounds",
     )
     ratios = []
-    for t in (1, 2, 3, 4):
+    # t = 5 is P = 16807: the columnar CommunicationLog (O(1) uniform
+    # supersteps, eager totals) makes the thousands-of-processors rows
+    # as cheap as P = 7.
+    depth = check_power(n, alg.n0, "n")
+    for t in (1, 2, 3, 4, 5):
+        if t > depth:
+            break
         P = 7**t
         for mult in (1.5, 8, 1e6):
             M = int(minimum_memory(alg, n, P) * mult)
@@ -97,12 +104,15 @@ def run(n: int = 2**10) -> ExperimentResult:
     )
 
     # Per-rank-balanced partitions on an explicit CDAG communicate.
+    # The large-P rows exercise the columnar cut accounting
+    # (repro.simcore.parallel): the whole cut is a handful of
+    # vectorised passes, so P = 2048 costs the same as P = 2.
     g = build_cdag(alg, 3)
     partition_table = TextTable(
         ["P", "partition", "communication volume (words)"],
         title="E11: explicit CDAG, load-balanced-per-rank partitions",
     )
-    for P in (2, 4, 8):
+    for P in (2, 4, 8, 256, 2048):
         for contiguous in (True, False):
             owner = partition_by_rank_balanced(g, P, seed=3, contiguous=contiguous)
             validate_rank_balanced(g, owner, P)

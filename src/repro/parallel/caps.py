@@ -154,13 +154,11 @@ def simulate_caps(
             log.uniform_superstep(1.0 * alg.b * block_words / cur_p)
         else:
             steps.append("dfs")
-            # b sequential subproblems on the full group; local adds only.
-            before = len(log.steps)
+            # b sequential subproblems on the full group; local adds
+            # only — the subtree's communication repeats b - 1 times.
+            before = log.n_supersteps
             rec(cur_n // alg.n0, cur_p, bfs_left)
-            segment = log.steps[before:]
-            for _ in range(alg.b - 1):
-                for step in segment:
-                    log.superstep(step)
+            log.replay(before, log.n_supersteps, alg.b - 1)
 
     rec(n, P, t)
     return CapsRun(

@@ -8,11 +8,24 @@ realise this with BSP-style supersteps: the cost of a superstep is the
 maximum over processors of words sent plus received in it, and the run's
 bandwidth cost is the sum over supersteps —
 :class:`CommunicationLog` does the accounting.
+
+The log stores supersteps *columnar*: a uniform superstep (every
+processor moves the same ``w`` words — the common case in the CAPS
+recursion) is one O(1) record regardless of ``P``, and an irregular one
+keeps ``(proc, sent, recv)`` arrays rather than a Python dict.  The
+bandwidth and volume totals are accumulated eagerly as records arrive,
+so :meth:`bandwidth_cost` is O(1) and a simulated machine with ``P`` in
+the thousands costs the same to log as ``P = 8`` (the E11 strong-scaling
+sweeps rely on this).  :meth:`replay` re-appends a recorded segment in
+O(segment) — the DFS branch of the CAPS recursion repeats its subtree's
+communication ``b - 1`` times without re-simulating it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import PartitionError
 from repro.utils.validation import check_positive_int
@@ -50,44 +63,101 @@ class CommunicationLog:
     def __init__(self, n_processors: int):
         check_positive_int(n_processors, "n_processors")
         self.n_processors = n_processors
-        #: per-superstep dict proc -> (sent, recv)
-        self.steps: list[dict[int, tuple[int, int]]] = []
+        #: records: ("uniform", w, bw, vol) or
+        #: ("sparse", (procs, sent, recv), bw, vol); bw/vol are the
+        #: record's bandwidth-cost and volume contributions.
+        self._records: list[tuple] = []
+        self._bandwidth = 0
+        self._volume = 0
 
     def superstep(self, traffic: dict[int, tuple[int, int]]) -> None:
         """Record one superstep.  ``traffic[p] = (sent, recv)`` in words;
         processors absent from the dict were silent."""
-        for p, (sent, recv) in traffic.items():
-            if not 0 <= p < self.n_processors:
-                raise PartitionError(f"processor {p} out of range")
-            if sent < 0 or recv < 0:
+        k = len(traffic)
+        procs = np.fromiter(traffic.keys(), dtype=np.int64, count=k)
+        pairs = np.fromiter(
+            (x for pair in traffic.values() for x in pair),
+            dtype=np.int64, count=2 * k,
+        ).reshape(k, 2)
+        if k:
+            if procs.min() < 0 or procs.max() >= self.n_processors:
+                bad = procs[(procs < 0) | (procs >= self.n_processors)][0]
+                raise PartitionError(f"processor {bad} out of range")
+            if pairs.min() < 0:
                 raise PartitionError("negative word counts")
-        self.steps.append(dict(traffic))
+        sent, recv = pairs[:, 0], pairs[:, 1]
+        bw = int((sent + recv).max()) if k else 0
+        vol = int(sent.sum())
+        self._records.append(("sparse", (procs, sent, recv), bw, vol))
+        self._bandwidth += bw
+        self._volume += vol
 
     def uniform_superstep(self, words_per_processor: float) -> None:
-        """Every processor sends and receives ``words_per_processor``."""
+        """Every processor sends and receives ``words_per_processor`` —
+        one O(1) record, independent of ``P``."""
         if words_per_processor < 0:
             raise PartitionError("negative word counts")
         w = int(round(words_per_processor))
-        self.superstep(
-            {p: (w, w) for p in range(self.n_processors)}
-        )
+        self._records.append(("uniform", w, 2 * w, w * self.n_processors))
+        self._bandwidth += 2 * w
+        self._volume += w * self.n_processors
+
+    def replay(self, start: int, end: int, times: int) -> None:
+        """Append the superstep segment ``[start, end)`` again,
+        ``times`` times — the recorded records are immutable, so the
+        repetitions share them."""
+        if times <= 0 or end <= start:
+            return
+        segment = self._records[start:end]
+        bw = sum(rec[2] for rec in segment)
+        vol = sum(rec[3] for rec in segment)
+        for _ in range(times):
+            self._records.extend(segment)
+        self._bandwidth += bw * times
+        self._volume += vol * times
 
     def bandwidth_cost(self) -> int:
         """Words on the critical path: per superstep, the busiest
         processor's sent+received; summed over supersteps."""
-        total = 0
-        for step in self.steps:
-            if step:
-                total += max(sent + recv for sent, recv in step.values())
-        return total
+        return self._bandwidth
 
     def total_volume(self) -> int:
         """Total words sent across all processors and supersteps (the
         *volume*, for contrast with the critical-path cost)."""
-        return sum(
-            sent for step in self.steps for sent, _ in step.values()
-        )
+        return self._volume
+
+    def processor_totals(self) -> np.ndarray:
+        """Words sent+received per processor, summed over all
+        supersteps — one columnar pass over the records."""
+        totals = np.zeros(self.n_processors, dtype=np.int64)
+        uniform = 0
+        for kind, payload, _, _ in self._records:
+            if kind == "uniform":
+                uniform += 2 * payload
+            else:
+                procs, sent, recv = payload
+                np.add.at(totals, procs, sent + recv)
+        totals += uniform
+        return totals
+
+    @property
+    def steps(self) -> list[dict[int, tuple[int, int]]]:
+        """The supersteps as per-processor dicts, materialised on
+        demand (debugging / small-P introspection; the accounting never
+        builds these)."""
+        out = []
+        for kind, payload, _, _ in self._records:
+            if kind == "uniform":
+                w = payload
+                out.append({p: (w, w) for p in range(self.n_processors)})
+            else:
+                procs, sent, recv = payload
+                out.append({
+                    int(p): (int(s), int(r))
+                    for p, s, r in zip(procs, sent, recv)
+                })
+        return out
 
     @property
     def n_supersteps(self) -> int:
-        return len(self.steps)
+        return len(self._records)

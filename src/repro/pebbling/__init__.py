@@ -1,23 +1,20 @@
 """Pebble-game / two-level cache machinery.
 
 - :mod:`repro.pebbling.machine`: the machine model (paper Section 1);
-- :mod:`repro.pebbling.cache`: eviction policies (LRU, FIFO, Belady);
-- :mod:`repro.pebbling.executor`: I/O counting for a schedule;
-- :mod:`repro.pebbling.kernels`: compiled (numba) step/eviction loops,
-  with bit-identical pure-Python fallback dispatch;
+- :mod:`repro.pebbling.executor`: I/O counting for a schedule — a thin
+  view over the unified simulation core (:mod:`repro.simcore`, which
+  owns the one LRU/FIFO/Belady policy implementation);
+- :mod:`repro.pebbling.kernels`: back-compat surface over the core's
+  compiled kernels and dispatch;
 - :mod:`repro.pebbling.pebble_game`: strict red-blue pebble game [10];
 - :mod:`repro.pebbling.segments`: the paper's segment-counting argument
   (Definition 1, Equations 1-2) measured on real executions.
+
+The golden reference eviction policies live under
+``tests/pebbling/_reference.py``.
 """
 
 from repro.pebbling.machine import MachineModel, min_cache_size
-from repro.pebbling.cache import (
-    EvictionPolicy,
-    LRUPolicy,
-    FIFOPolicy,
-    BeladyPolicy,
-    make_policy,
-)
 from repro.pebbling.executor import IOResult, CacheExecutor, simulate_io
 from repro.pebbling import kernels
 from repro.pebbling.pebble_game import (
@@ -40,11 +37,6 @@ from repro.pebbling.segments import (
 __all__ = [
     "MachineModel",
     "min_cache_size",
-    "EvictionPolicy",
-    "LRUPolicy",
-    "FIFOPolicy",
-    "BeladyPolicy",
-    "make_policy",
     "IOResult",
     "CacheExecutor",
     "simulate_io",

@@ -24,34 +24,40 @@ measurement should track the matching upper bound (experiment E9).
 
 Implementation notes (the hot path)
 -----------------------------------
-The simulator is array-backed: a schedule is compiled once into a
-:class:`_SchedulePlan` — flat CSR-style operand arrays gathered from the
-CDAG's predecessor CSR, per-occurrence *next-use* times (a backward-scan
-linked list, so Belady needs no per-vertex Python lists or cursor
-dicts), per-vertex first-use times and initial use counts.
+The simulator is a thin view over the unified columnar core
+(:mod:`repro.simcore`): a schedule is compiled once into a
+:class:`~repro.simcore.plan.SchedulePlan` — flat CSR-style operand
+arrays gathered from the CDAG's predecessor CSR, per-occurrence
+*next-use* times (a backward-scan linked list, so Belady needs no
+per-vertex Python lists or cursor dicts), per-vertex first-use times
+and initial use counts.
 
 Two simulation paths run over a plan:
 
-- **compiled kernels** (:mod:`repro.pebbling.kernels`): numba ``@njit``
+- **compiled kernels** (:mod:`repro.simcore.grid`): numba ``@njit``
   step loops over flat int64 arrays, taken whenever numba is importable
-  and ``REPRO_NO_JIT`` is unset.  Plans loaded from graph-cache bundles
-  feed the kernels straight from their read-only memmaps — no
-  ``ensure_lists`` materialisation on this path;
-- **pure-Python loops** (the fallback, kept bit-identical): dense flat
-  structures indexed by vertex id (flat bitmaps for cached/dirty/
-  in-slow, per-vertex stamp/key lists) with a lazy min-heap replacing
-  the reference implementation's O(|candidates|) scans.
+  and ``REPRO_NO_JIT`` is unset.  Batched sweeps go through the
+  *lockstep* grid kernel — ``(config, slot)`` 2-D state advanced
+  through each schedule step for every configuration at once.  Plans
+  loaded from graph-cache bundles feed the kernels straight from their
+  read-only memmaps — no ``ensure_lists`` materialisation on this path;
+- **pure-Python loops** (:mod:`repro.simcore.pyloops`, the fallback,
+  kept bit-identical): dense flat structures indexed by vertex id (flat
+  bitmaps for cached/dirty/in-slow, per-vertex stamp/key lists) with a
+  lazy min-heap replacing the reference implementation's
+  O(|candidates|) scans.
 
-Both paths make the exact victim choices of the reference policy
-objects in :mod:`repro.pebbling.cache` — the golden-equivalence tests
-enforce bit-identity across schedules x policies x cache sizes, and the
+Both paths make the exact victim choices of the golden reference
+simulator retained under ``tests/pebbling/_reference.py`` — the
+golden-equivalence tests enforce bit-identity across schedules x
+policies x cache sizes, and the
 ``pebbling.kernel.{jit,interp,fallback}`` counters record which path
-each run took.
+each run took (mirroring the core's ``simcore.kernel.*`` counters).
 
 Plans are cached on the executor and shared across cache sizes and
 policies; :meth:`CacheExecutor.run_many` exposes that reuse as a batched
 sweep API (validate once, precompute once, run every ``(M, policy)``
-configuration — in one compiled ``run_grid`` call on the kernel path,
+configuration — in one lockstep ``run_grid`` call on the kernel path,
 and optionally partitioned across a ``ProcessPoolExecutor`` via
 ``workers=`` for multi-core scaling).
 """
@@ -63,7 +69,6 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from heapq import heappop, heappush
 
 import numpy as np
 
@@ -72,6 +77,9 @@ from repro.cdag import artifact as _artifact
 from repro.cdag.graph import CDAG
 from repro.errors import CacheError, ScheduleError
 from repro.pebbling.machine import MachineModel
+from repro.simcore import dispatch as _dispatch
+from repro.simcore.plan import SchedulePlan, gather_operands
+from repro.simcore.pyloops import simulate_py
 from repro.telemetry.metrics import metrics
 from repro.telemetry.spans import enabled as _telemetry_enabled
 from repro.telemetry.spans import span
@@ -126,147 +134,11 @@ class IOResult:
         return self.reads + self.writes
 
 
-class _SchedulePlan:
-    """Policy-independent precompute for one schedule (built once,
-    reused across every ``(cache_size, policy)`` configuration).
-
-    All arrays are flat and vectorised off the CDAG's predecessor CSR:
-
-    - ``step_indptr`` / ``step_ops``: operand occurrences in schedule
-      order (``step_ops[step_indptr[t]:step_indptr[t+1]]`` are the
-      predecessors of the vertex computed at step ``t``);
-    - ``occ_next``: for each occurrence, the next step at which the same
-      vertex is used again (``T`` = never) — the backward-scan next-use
-      linked list Belady keys evictions on (computed in one vectorised
-      pass, shared by every cache size and policy of a batch);
-    - ``first_use``: per vertex, the first step using it (``T`` = never);
-    - ``uses_left0``: per vertex, total number of uses.
-
-    The compiled kernels consume these arrays directly via
-    :meth:`kernel_arrays` — for a plan loaded from a bundle they stay
-    read-only memmaps end to end.  The pure-Python fallback loops index
-    them as Python lists (cheaper per element than numpy scalars),
-    materialised lazily on first fallback simulate by
-    :meth:`ensure_lists`; a plan that only ever runs on the kernel path
-    (or is loaded but never run) never pays that materialisation.
-    """
-
-    __slots__ = (
-        "schedule", "step_indptr", "step_ops", "occ_next", "first_use",
-        "uses_left0", "n_steps", "validated",
-        "_sched_l", "_indptr_l", "_ops_l", "_occ_next_l", "_first_use_l",
-        "_uses_l", "_kernel_arrays",
-    )
-
-    def __init__(self, cdag: CDAG, schedule: np.ndarray, validated: bool):
-        n = cdag.n_vertices
-        self.schedule = schedule
-        self.validated = validated
-        T = self.n_steps = len(schedule)
-        step_indptr, step_ops, occ_time = _gather_operands(cdag, schedule)
-        total = len(step_ops)
-
-        # Backward-scan next-use list, vectorised: stable-sort the
-        # occurrences by vertex (they are already time-ordered, so each
-        # vertex's group stays time-ordered) and link neighbours.
-        order = np.argsort(step_ops, kind="stable")
-        sv = step_ops[order]
-        st = occ_time[order]
-        nxt = np.full(total, T, dtype=np.int64)
-        if total > 1:
-            same = sv[:-1] == sv[1:]
-            nxt[:-1][same] = st[1:][same]
-        occ_next = np.empty(total, dtype=np.int64)
-        occ_next[order] = nxt
-
-        first_use = np.full(n, T, dtype=np.int64)
-        if total:
-            first_use[sv[::-1]] = st[::-1]
-
-        self.step_indptr = step_indptr
-        self.step_ops = step_ops
-        self.occ_next = occ_next
-        self.first_use = first_use
-        self.uses_left0 = np.bincount(step_ops, minlength=n).astype(np.int64)
-        self._sched_l = None
-        self._kernel_arrays = None
-
-    def to_arrays(self) -> dict[str, np.ndarray]:
-        """The plan's serialisable arrays (bundle format; names match
-        :data:`repro.cdag.artifact.PLAN_ARRAY_NAMES`)."""
-        return {
-            "schedule": np.ascontiguousarray(self.schedule, dtype=np.int64),
-            "step_indptr": np.ascontiguousarray(self.step_indptr, dtype=np.int64),
-            "step_ops": np.ascontiguousarray(self.step_ops, dtype=np.int64),
-            "occ_next": np.ascontiguousarray(self.occ_next, dtype=np.int64),
-            "first_use": np.ascontiguousarray(self.first_use, dtype=np.int64),
-            "uses_left0": np.ascontiguousarray(self.uses_left0, dtype=np.int64),
-        }
-
-    @classmethod
-    def from_arrays(cls, arrays, validated: bool) -> "_SchedulePlan":
-        """Rebuild a plan from bundle arrays without recompiling (the
-        arrays may be read-only memmaps; the simulators only read
-        them)."""
-        self = cls.__new__(cls)
-        self.schedule = arrays["schedule"]
-        self.step_indptr = arrays["step_indptr"]
-        self.step_ops = arrays["step_ops"]
-        self.occ_next = arrays["occ_next"]
-        self.first_use = arrays["first_use"]
-        self.uses_left0 = arrays["uses_left0"]
-        self.n_steps = len(self.schedule)
-        self.validated = validated
-        self._sched_l = None
-        self._kernel_arrays = None
-        return self
-
-    def ensure_lists(self) -> None:
-        """Materialise the fallback loops' Python lists (idempotent;
-        the kernel path never calls this)."""
-        if self._sched_l is None:
-            self._sched_l = self.schedule.tolist()
-            self._indptr_l = self.step_indptr.tolist()
-            self._ops_l = self.step_ops.tolist()
-            self._occ_next_l = self.occ_next.tolist()
-            self._first_use_l = self.first_use.tolist()
-            self._uses_l = self.uses_left0.tolist()
-
-    def kernel_arrays(self) -> tuple[np.ndarray, ...]:
-        """The plan's arrays as the compiled kernels consume them:
-        C-contiguous int64, in :data:`~repro.cdag.artifact.
-        PLAN_ARRAY_NAMES` order.  For bundle-loaded plans these are the
-        memmaps themselves (zero-copy — the kernels only read them)."""
-        ka = self._kernel_arrays
-        if ka is None:
-            ka = self._kernel_arrays = _artifact.plan_kernel_arrays({
-                "schedule": self.schedule,
-                "step_indptr": self.step_indptr,
-                "step_ops": self.step_ops,
-                "occ_next": self.occ_next,
-                "first_use": self.first_use,
-                "uses_left0": self.uses_left0,
-            })
-        return ka
-
-
-def _gather_operands(
-    cdag: CDAG, schedule: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flatten the predecessor lists of a schedule into occurrence
-    arrays: ``(step_indptr, step_ops, occ_time)``."""
-    indptr, indices = cdag.pred_csr()
-    T = len(schedule)
-    starts = indptr[schedule]
-    counts = indptr[schedule + 1] - starts
-    step_indptr = np.zeros(T + 1, dtype=np.int64)
-    np.cumsum(counts, out=step_indptr[1:])
-    total = int(step_indptr[-1])
-    gather = np.repeat(starts - step_indptr[:-1], counts)
-    gather += np.arange(total, dtype=np.int64)
-    step_ops = indices[gather]
-    occ_time = np.repeat(np.arange(T, dtype=np.int64), counts)
-    return step_indptr, step_ops, occ_time
+# The plan precompute moved to the unified core; the executor keeps the
+# pre-unification names bound for its consumers (the graph cache's plan
+# bundles, the artifact layer, tests).
+_SchedulePlan = SchedulePlan
+_gather_operands = gather_operands
 
 
 # ----------------------------------------------------------------------
@@ -341,270 +213,7 @@ def _simulate(plan, is_input, is_output, cache_size, policy, io_trace):
         return tuple(int(x) for x in sc[:8])
     if _telemetry_enabled():
         metrics().inc("pebbling.kernel.fallback")
-    n = len(is_input)
-    if code == 2:
-        return _py_simulate_belady(
-            plan, is_input, is_output, n, cache_size, io_trace
-        )
-    return _py_simulate_recency(
-        plan, is_input, is_output, n, cache_size, code == 0, io_trace
-    )
-
-
-# -- pure-Python fallback loops ----------------------------------------
-#
-# Two near-identical loops (recency-stamped LRU/FIFO vs next-use keyed
-# Belady).  State is flat and dense: bytearray bitmaps plus per-vertex
-# stamp/key lists, with a lazy heap replacing the reference
-# implementation's O(|candidates|) min scans.  Victim choices are
-# bit-identical to the reference policy objects
-# (:mod:`repro.pebbling.cache`) *and* to the compiled kernels; the
-# golden-equivalence tests enforce this across schedules x policies x
-# cache sizes.
-
-
-def _py_simulate_recency(
-    plan, is_input_arr, is_output_arr, n, cache_size, refresh_on_use, io_trace
-):
-    plan.ensure_lists()
-    sched = plan._sched_l
-    indptr = plan._indptr_l
-    ops = plan._ops_l
-    uses_left = list(plan._uses_l)
-    is_input = is_input_arr.tolist()
-    is_output = is_output_arr.tolist()
-    cached = bytearray(n)
-    dirty = bytearray(n)
-    in_slow = bytearray(np.ascontiguousarray(is_input_arr).tobytes())
-    output_written = bytearray(n)
-    stamp = [0] * n          # last touch (LRU) / insertion time (FIFO)
-    pinned_mark = [-1] * n
-    heap: list[tuple[int, int]] = []
-
-    reads = writes = input_reads = spill_reads = spill_writes = 0
-    output_writes = 0
-    peak = n_cached = evictions = 0
-    t = 0
-
-    def evict_one() -> None:
-        # Lazy-heap victim selection: the top fresh, cached,
-        # unpinned entry is min((stamp, v)) over the candidate set —
-        # exactly the reference policies' scan.  Fresh entries of
-        # pinned vertices are set aside and re-pushed, so they stay
-        # eligible for later evictions.
-        nonlocal writes, spill_writes, output_writes, evictions, n_cached
-        aside = None
-        while True:
-            if not heap:
-                raise CacheError("no eviction candidate available")
-            tm, u = heap[0]
-            if not cached[u] or stamp[u] != tm:
-                heappop(heap)       # stale: evicted or re-touched
-                continue
-            if pinned_mark[u] == t:
-                if aside is None:
-                    aside = []
-                aside.append(heappop(heap))
-                continue
-            break
-        if aside:
-            for entry in aside:
-                heappush(heap, entry)
-        evictions += 1
-        cached[u] = 0
-        n_cached -= 1
-        if dirty[u]:
-            if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
-                writes += 1
-                in_slow[u] = 1
-                if is_output[u]:
-                    output_writes += 1
-                    output_written[u] = 1
-                else:
-                    spill_writes += 1
-            dirty[u] = 0
-
-    for t, v in enumerate(sched):
-        start = indptr[t]
-        end = indptr[t + 1]
-        pinned_mark[v] = t
-        for i in range(start, end):
-            pinned_mark[ops[i]] = t
-        # Load missing operands.
-        for i in range(start, end):
-            p = ops[i]
-            if cached[p]:
-                if refresh_on_use and stamp[p] != t:
-                    stamp[p] = t
-                    heappush(heap, (t, p))
-            else:
-                if not in_slow[p]:
-                    raise ScheduleError(
-                        f"operand {p} of {v} is neither cached nor "
-                        "in slow memory"
-                    )
-                while n_cached >= cache_size:
-                    evict_one()
-                cached[p] = 1
-                n_cached += 1
-                stamp[p] = t
-                heappush(heap, (t, p))
-                reads += 1
-                if is_input[p]:
-                    input_reads += 1
-                else:
-                    spill_reads += 1
-        # Make room for the result and compute.
-        while n_cached >= cache_size:
-            evict_one()
-        if not cached[v]:
-            cached[v] = 1
-            n_cached += 1
-        dirty[v] = 1
-        stamp[v] = t
-        heappush(heap, (t, v))
-        if n_cached > peak:
-            peak = n_cached
-        for i in range(start, end):
-            uses_left[ops[i]] -= 1
-        if io_trace is not None:
-            io_trace.append(reads + writes)
-
-    # Drain: outputs still dirty must reach slow memory.
-    for u in range(n):
-        if dirty[u] and is_output[u] and not output_written[u]:
-            writes += 1
-            output_writes += 1
-            output_written[u] = 1
-
-    return (reads, writes, input_reads, spill_reads, spill_writes,
-            output_writes, peak, evictions)
-
-
-def _py_simulate_belady(
-    plan, is_input_arr, is_output_arr, n, cache_size, io_trace
-):
-    plan.ensure_lists()
-    sched = plan._sched_l
-    indptr = plan._indptr_l
-    ops = plan._ops_l
-    occ_next = plan._occ_next_l
-    first_use = plan._first_use_l
-    uses_left = list(plan._uses_l)
-    is_input = is_input_arr.tolist()
-    is_output = is_output_arr.tolist()
-    cached = bytearray(n)
-    dirty = bytearray(n)
-    in_slow = bytearray(np.ascontiguousarray(is_input_arr).tobytes())
-    output_written = bytearray(n)
-    # Current next-use key per vertex; plan.n_steps is the "never
-    # used again" sentinel (sorts exactly like the reference's +inf:
-    # every real next use is a smaller step index).
-    key = [0] * n
-    pinned_mark = [-1] * n
-    # Max-heap entries (-next_use, v): the top entry is the furthest
-    # next use, ties broken on the smaller vertex id — the reference
-    # BeladyPolicy's order.  Pops are destructive for non-candidate
-    # entries, matching the reference's lazy invalidation exactly.
-    heap: list[tuple[int, int]] = []
-
-    reads = writes = input_reads = spill_reads = spill_writes = 0
-    output_writes = 0
-    peak = n_cached = evictions = 0
-    t = 0
-
-    def evict_one() -> None:
-        nonlocal writes, spill_writes, output_writes, evictions, n_cached
-        u = -1
-        while heap:
-            negn, u = heap[0]
-            if not cached[u] or pinned_mark[u] == t:
-                heappop(heap)
-                continue
-            cur = key[u]
-            if -negn != cur:
-                heappop(heap)       # stale: re-key and retry
-                heappush(heap, (-cur, u))
-                continue
-            break
-        else:
-            # Heap exhausted (candidate entries were consumed while
-            # pinned): deterministic fallback, smallest vertex id.
-            u = cached.find(1)
-            while u >= 0 and pinned_mark[u] == t:
-                u = cached.find(1, u + 1)
-            if u < 0:
-                raise CacheError("no eviction candidate available")
-        evictions += 1
-        cached[u] = 0
-        n_cached -= 1
-        if dirty[u]:
-            if uses_left[u] > 0 or (is_output[u] and not output_written[u]):
-                writes += 1
-                in_slow[u] = 1
-                if is_output[u]:
-                    output_writes += 1
-                    output_written[u] = 1
-                else:
-                    spill_writes += 1
-            dirty[u] = 0
-
-    for t, v in enumerate(sched):
-        start = indptr[t]
-        end = indptr[t + 1]
-        pinned_mark[v] = t
-        for i in range(start, end):
-            pinned_mark[ops[i]] = t
-        for i in range(start, end):
-            p = ops[i]
-            if not cached[p]:
-                if not in_slow[p]:
-                    raise ScheduleError(
-                        f"operand {p} of {v} is neither cached nor "
-                        "in slow memory"
-                    )
-                while n_cached >= cache_size:
-                    evict_one()
-                cached[p] = 1
-                n_cached += 1
-                reads += 1
-                if is_input[p]:
-                    input_reads += 1
-                else:
-                    spill_reads += 1
-        while n_cached >= cache_size:
-            evict_one()
-        if not cached[v]:
-            cached[v] = 1
-            n_cached += 1
-        dirty[v] = 1
-        nxt = first_use[v]
-        key[v] = nxt
-        heappush(heap, (-nxt, v))
-        if n_cached > peak:
-            peak = n_cached
-        # Refresh: exactly one heap entry per operand use, pushed
-        # *after* the compute so it survives this step's evictions
-        # (while pinned, an operand's entries can be destructively
-        # popped — the post-compute push is the one that matters,
-        # and is what the reference's refresh ``on_use`` provides).
-        for i in range(start, end):
-            p = ops[i]
-            nxt = occ_next[i]
-            key[p] = nxt
-            heappush(heap, (-nxt, p))
-            uses_left[p] -= 1
-        if io_trace is not None:
-            io_trace.append(reads + writes)
-
-    for u in range(n):
-        if dirty[u] and is_output[u] and not output_written[u]:
-            writes += 1
-            output_writes += 1
-            output_written[u] = 1
-
-    return (reads, writes, input_reads, spill_reads, spill_writes,
-            output_writes, peak, evictions)
+    return simulate_py(plan, is_input, is_output, cache_size, code, io_trace)
 
 
 def _partition_worker(arrays, is_input, is_output, configs):
@@ -865,11 +474,18 @@ class CacheExecutor:
                 ]
                 for i, (future, part) in enumerate(zip(futures, parts)):
                     wall, mode, counts_list = future.result()
+                    # Throughput, not just raw counts: the partition's
+                    # configs-per-second is the quantity worker-count
+                    # tuning actually optimises, so each partition span
+                    # carries it and the registry keeps the last value
+                    # as a gauge.
+                    configs_per_s = len(part) / wall if wall > 0 else 0.0
                     with span(
                         "pebbling.run_many.partition", partition=i
                     ) as sp:
                         sp.set("configs", len(part))
                         sp.set("worker_wall_s", round(wall, 6))
+                        sp.set("configs_per_s", round(configs_per_s, 3))
                         sp.set("path", mode)
                     if record:
                         name = (
@@ -877,6 +493,12 @@ class CacheExecutor:
                             else "pebbling.kernel.fallback"
                         )
                         metrics().inc(name, len(part))
+                        # Workers run with telemetry disabled, so the
+                        # parent re-emits the core's path counters too.
+                        _dispatch.count_path(mode, len(part))
+                        metrics().gauge(
+                            "pebbling.run_many.configs_per_s"
+                        ).set(configs_per_s)
                     for cfg, counts in zip(part, counts_list):
                         raw[cfg] = counts
         return raw

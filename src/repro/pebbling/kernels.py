@@ -1,576 +1,74 @@
-"""Compiled pebbling kernels: the executor's hot loops as numba
-``@njit`` functions over flat int64 arrays.
+"""Back-compat surface over the unified simulation core.
 
-The pure-Python step loops in :mod:`repro.pebbling.executor` interpret
-one Python bytecode stream per scheduled vertex; at n = 128 (recursion
-depth 7 for Strassen) that is ~6M steps per configuration and the
-interpreter becomes the bottleneck.  This module reimplements the two
-simulation loops (`recency` for LRU/FIFO, `belady` for offline-MIN) as
-kernels structured like the tiled OpenMP path kernel in SNIPPETS.md
-Snippet 2: flat C arrays only, state preallocated once per
-configuration, and a batched ``run_grid`` entry point that steps a whole
-``(cache_size x policy)`` grid in one compiled call (the next-use
-backward scan is *not* redone per cell — it lives in the shared
-``_SchedulePlan`` occurrence arrays, computed once per schedule).
+The compiled pebbling kernels now live in :mod:`repro.simcore` — the
+policy step bodies in :mod:`repro.simcore.policies`, the per-config and
+lockstep grid kernels in :mod:`repro.simcore.grid`, and the mode gating
+in :mod:`repro.simcore.dispatch`.  This module re-exports the names the
+pre-unification consumers bound to (``repro.pebbling.kernels.run_grid``
+and friends, the scalar-layout constants, the mode controls), sharing
+the *same* dispatch state: ``kernels.forced_mode`` and
+``simcore.dispatch.forced_mode`` flip one switch.
 
-Bit-for-bit identity with the golden reference
-----------------------------------------------
-The kernels must be indistinguishable from the retained reference
-simulator (``tests/pebbling/_reference.py``) on every ``IOResult``
-field, the eviction count and the cumulative ``io_trace``.  The Python
-loops achieve this with lazy min-heaps of tuples; here each heap entry
-is encoded into a single ``int64``:
-
-- recency: ``stamp * n + v`` — orders exactly like the tuple
-  ``(stamp, v)`` because ``v < n``;
-- belady: ``(T - next_use) * n + v`` — ``T`` is the "never used again"
-  sentinel, so ``T - next_use`` ascends as ``-next_use`` does and the
-  encoding orders exactly like ``(-next_use, v)``.
-
-A binary min-heap over a total order pops the same value sequence
-regardless of its internal layout, so the victim choices (and hence
-every downstream count) match the Python loops exactly; the golden
-equivalence and hypothesis suites assert this across schedules x
-policies x cache sizes.
-
-Gating
-------
-numba is an *optional* dependency (the ``speed`` extra).  Three modes:
-
-- ``jit`` — numba present, kernels compiled with ``cache=True`` (the
-  compilation is paid once per machine, then loaded from the on-disk
-  cache);
-- ``off`` — numba absent, or ``REPRO_NO_JIT=1``: callers fall back to
-  the pure-Python loops;
-- ``interp`` — test-only (``REPRO_FORCE_KERNELS=1`` or
-  ``set_mode("interp")``): run this module's kernel *code* under the
-  plain interpreter even without numba, so the equivalence suites
-  exercise the kernel algorithm everywhere.
-
-The executor counts the path taken per simulation
-(``pebbling.kernel.{jit,interp,fallback}``) and the wall time of the
-first kernel invocation per process (``pebbling.kernel.compile_s`` — on
-a cold numba cache this is dominated by JIT compilation).
+See the simcore modules for the design notes (int64-encoded lazy
+min-heaps, bit-identity with the golden reference, the lockstep
+``(config, slot)`` layout).
 """
 
 from __future__ import annotations
 
-import os
-import time
-
-import numpy as np
-
-from repro.telemetry.metrics import metrics
-from repro.telemetry.spans import enabled as _telemetry_enabled
+from repro.simcore.dispatch import (
+    HAVE_NUMBA,
+    active_mode,
+    available,
+    forced_mode,
+    njit,
+    set_mode,
+)
+from repro.simcore.grid import run_grid, simulate_plan
+from repro.simcore.policies import (
+    ERR_A,
+    ERR_B,
+    EVICTIONS,
+    HEAPN,
+    INPUT_READS,
+    NCACHED,
+    OUTPUT_WRITES,
+    PEAK,
+    READS,
+    SC_LEN,
+    SPILL_READS,
+    SPILL_WRITES,
+    STATUS,
+    STATUS_NO_VICTIM,
+    STATUS_OK,
+    STATUS_OPERAND_MISSING,
+    WRITES,
+)
 
 __all__ = [
     "HAVE_NUMBA",
+    "njit",
     "active_mode",
     "available",
     "set_mode",
     "forced_mode",
     "simulate_plan",
     "run_grid",
+    "READS",
+    "WRITES",
+    "INPUT_READS",
+    "SPILL_READS",
+    "SPILL_WRITES",
+    "OUTPUT_WRITES",
+    "PEAK",
+    "EVICTIONS",
+    "NCACHED",
+    "HEAPN",
+    "STATUS",
+    "ERR_A",
+    "ERR_B",
     "SC_LEN",
     "STATUS_OK",
     "STATUS_OPERAND_MISSING",
     "STATUS_NO_VICTIM",
 ]
-
-try:  # pragma: no cover - exercised only when numba is installed
-    from numba import njit
-
-    HAVE_NUMBA = True
-except Exception:  # ImportError, or a broken numba install
-    HAVE_NUMBA = False
-
-    def njit(*args, **kwargs):
-        """Identity decorator: the kernels below are valid plain Python
-        over numpy arrays, so without numba they stay importable and
-        runnable (the ``interp`` test mode and the hypothesis suite
-        rely on this)."""
-        if args and callable(args[0]):
-            return args[0]
-
-        def deco(fn):
-            return fn
-
-        return deco
-
-
-def _env_flag(name: str) -> bool:
-    return os.environ.get(name, "") not in ("", "0")
-
-
-#: ``set_mode`` override; None means "decide from numba + environment".
-_MODE_OVERRIDE: str | None = None
-
-
-def active_mode() -> str:
-    """The simulation path the executor will take: ``"jit"``,
-    ``"interp"`` or ``"off"`` (= pure-Python fallback loops)."""
-    mode = _MODE_OVERRIDE
-    if mode is None:
-        if _env_flag("REPRO_NO_JIT"):
-            return "off"
-        if HAVE_NUMBA:
-            return "jit"
-        return "interp" if _env_flag("REPRO_FORCE_KERNELS") else "off"
-    return mode
-
-
-def available() -> bool:
-    """Whether the kernel path (compiled or interpreted) is active."""
-    return active_mode() != "off"
-
-
-def set_mode(mode: str | None) -> None:
-    """Override the dispatch mode: ``"off"``, ``"interp"``, ``"jit"``,
-    ``"auto"``/None (= re-derive from numba + environment).  Used by
-    ``--no-jit`` CLI flags, benchmarks and tests."""
-    global _MODE_OVERRIDE
-    if mode in ("auto", None):
-        _MODE_OVERRIDE = None
-        return
-    if mode not in ("off", "interp", "jit"):
-        raise ValueError(f"unknown kernel mode {mode!r}")
-    if mode == "jit" and not HAVE_NUMBA:
-        raise RuntimeError("kernel mode 'jit' requires numba (pip install repro[speed])")
-    _MODE_OVERRIDE = mode
-
-
-class forced_mode:
-    """Context manager: force a dispatch mode, restore the previous
-    override on exit (benchmark pairing and tests)."""
-
-    def __init__(self, mode: str | None):
-        self.mode = mode
-        self._prev: str | None = None
-
-    def __enter__(self):
-        self._prev = _MODE_OVERRIDE
-        set_mode(self.mode)
-        return self
-
-    def __exit__(self, *exc):
-        global _MODE_OVERRIDE
-        _MODE_OVERRIDE = self._prev
-        return False
-
-
-# ----------------------------------------------------------------------
-# Scalar-state layout (one int64 vector per simulation, shared with the
-# batched grid kernel as one matrix row per configuration).  The first
-# eight slots match the count tuple the Python loops return.
-# ----------------------------------------------------------------------
-
-READS = 0
-WRITES = 1
-INPUT_READS = 2
-SPILL_READS = 3
-SPILL_WRITES = 4
-OUTPUT_WRITES = 5
-PEAK = 6
-EVICTIONS = 7
-NCACHED = 8
-HEAPN = 9
-STATUS = 10
-ERR_A = 11
-ERR_B = 12
-SC_LEN = 13
-
-STATUS_OK = 0
-#: ``ERR_A`` = the operand, ``ERR_B`` = the vertex using it.
-STATUS_OPERAND_MISSING = 1
-STATUS_NO_VICTIM = 2
-
-
-# ----------------------------------------------------------------------
-# Flat binary min-heap (int64 keys, capacity preallocated by callers).
-# ----------------------------------------------------------------------
-
-
-@njit(cache=True, nogil=True)
-def _heap_push(heap, size, val):
-    heap[size] = val
-    i = size
-    while i > 0:
-        parent = (i - 1) >> 1
-        if heap[i] < heap[parent]:
-            tmp = heap[i]
-            heap[i] = heap[parent]
-            heap[parent] = tmp
-        else:
-            break
-        i = parent
-    return size + 1
-
-
-@njit(cache=True, nogil=True)
-def _heap_pop(heap, size):
-    """Remove the root; returns the new size."""
-    size -= 1
-    heap[0] = heap[size]
-    i = 0
-    while True:
-        left = 2 * i + 1
-        if left >= size:
-            break
-        child = left
-        right = left + 1
-        if right < size and heap[right] < heap[left]:
-            child = right
-        if heap[child] < heap[i]:
-            tmp = heap[i]
-            heap[i] = heap[child]
-            heap[child] = tmp
-            i = child
-        else:
-            break
-    return size
-
-
-# ----------------------------------------------------------------------
-# Eviction helpers.  These are line-for-line transcriptions of
-# ``evict_one`` in the Python loops; state travels in the arrays plus
-# the ``sc`` scalar vector (numba cannot pass scalars by reference).
-# ----------------------------------------------------------------------
-
-
-@njit(cache=True, nogil=True)
-def _recency_evict(heap, sc, cached, dirty, in_slow, output_written,
-                   uses_left, is_output, stamp, pinned, aside, t, n):
-    """One recency-policy eviction; returns 0, or -1 with ``sc[STATUS]``
-    set.  Fresh entries of pinned vertices are set aside and re-pushed,
-    exactly like the Python loop's ``aside`` list."""
-    n_aside = 0
-    u = np.int64(-1)
-    while True:
-        if sc[HEAPN] == 0:
-            sc[STATUS] = STATUS_NO_VICTIM
-            return -1
-        e = heap[0]
-        tm = e // n
-        u = e % n
-        if cached[u] == 0 or stamp[u] != tm:
-            sc[HEAPN] = _heap_pop(heap, sc[HEAPN])  # stale entry
-            continue
-        if pinned[u] == t:
-            aside[n_aside] = e
-            n_aside += 1
-            sc[HEAPN] = _heap_pop(heap, sc[HEAPN])
-            continue
-        break
-    for i in range(n_aside):
-        sc[HEAPN] = _heap_push(heap, sc[HEAPN], aside[i])
-    sc[EVICTIONS] += 1
-    cached[u] = 0
-    sc[NCACHED] -= 1
-    if dirty[u] == 1:
-        if uses_left[u] > 0 or (is_output[u] == 1 and output_written[u] == 0):
-            sc[WRITES] += 1
-            in_slow[u] = 1
-            if is_output[u] == 1:
-                sc[OUTPUT_WRITES] += 1
-                output_written[u] = 1
-            else:
-                sc[SPILL_WRITES] += 1
-        dirty[u] = 0
-    return 0
-
-
-@njit(cache=True, nogil=True)
-def _belady_evict(heap, sc, cached, dirty, in_slow, output_written,
-                  uses_left, is_output, key, pinned, t, n, T):
-    """One Belady eviction (max next-use first, ties on smaller vertex
-    id); destructive pops for non-candidates and re-keyed pushes for
-    stale entries match the reference policy's lazy invalidation."""
-    u = np.int64(-1)
-    found = False
-    while sc[HEAPN] > 0:
-        e = heap[0]
-        u = e % n
-        nxt = T - e // n
-        if cached[u] == 0 or pinned[u] == t:
-            sc[HEAPN] = _heap_pop(heap, sc[HEAPN])
-            continue
-        cur = key[u]
-        if nxt != cur:
-            sc[HEAPN] = _heap_pop(heap, sc[HEAPN])
-            sc[HEAPN] = _heap_push(heap, sc[HEAPN], (T - cur) * n + u)
-            continue
-        found = True
-        break
-    if not found:
-        # Heap exhausted (candidate entries were destructively popped
-        # while pinned): deterministic fallback, smallest cached
-        # unpinned vertex id.
-        u = np.int64(-1)
-        for w in range(n):
-            if cached[w] == 1 and pinned[w] != t:
-                u = w
-                break
-        if u < 0:
-            sc[STATUS] = STATUS_NO_VICTIM
-            return -1
-    sc[EVICTIONS] += 1
-    cached[u] = 0
-    sc[NCACHED] -= 1
-    if dirty[u] == 1:
-        if uses_left[u] > 0 or (is_output[u] == 1 and output_written[u] == 0):
-            sc[WRITES] += 1
-            in_slow[u] = 1
-            if is_output[u] == 1:
-                sc[OUTPUT_WRITES] += 1
-                output_written[u] = 1
-            else:
-                sc[SPILL_WRITES] += 1
-        dirty[u] = 0
-    return 0
-
-
-# ----------------------------------------------------------------------
-# Step loops.
-# ----------------------------------------------------------------------
-
-
-@njit(cache=True, nogil=True)
-def _recency_kernel(sched, indptr, ops, uses_left0, is_input, is_output,
-                    n, cache_size, refresh_on_use, trace, want_trace, sc):
-    T = sched.shape[0]
-    cached = np.zeros(n, dtype=np.uint8)
-    dirty = np.zeros(n, dtype=np.uint8)
-    in_slow = np.empty(n, dtype=np.uint8)
-    output_written = np.zeros(n, dtype=np.uint8)
-    uses_left = np.empty(n, dtype=np.int64)
-    stamp = np.zeros(n, dtype=np.int64)
-    pinned = np.full(n, -1, dtype=np.int64)
-    for i in range(n):
-        in_slow[i] = is_input[i]
-        uses_left[i] = uses_left0[i]
-    heap = np.empty(ops.shape[0] + T + 2, dtype=np.int64)
-    aside = np.empty(n, dtype=np.int64)
-
-    for t in range(T):
-        v = sched[t]
-        start = indptr[t]
-        end = indptr[t + 1]
-        pinned[v] = t
-        for i in range(start, end):
-            pinned[ops[i]] = t
-        # Load missing operands.
-        for i in range(start, end):
-            p = ops[i]
-            if cached[p] == 1:
-                if refresh_on_use and stamp[p] != t:
-                    stamp[p] = t
-                    sc[HEAPN] = _heap_push(heap, sc[HEAPN], t * n + p)
-            else:
-                if in_slow[p] == 0:
-                    sc[STATUS] = STATUS_OPERAND_MISSING
-                    sc[ERR_A] = p
-                    sc[ERR_B] = v
-                    return
-                while sc[NCACHED] >= cache_size:
-                    if _recency_evict(heap, sc, cached, dirty, in_slow,
-                                      output_written, uses_left, is_output,
-                                      stamp, pinned, aside, t, n) < 0:
-                        return
-                cached[p] = 1
-                sc[NCACHED] += 1
-                stamp[p] = t
-                sc[HEAPN] = _heap_push(heap, sc[HEAPN], t * n + p)
-                sc[READS] += 1
-                if is_input[p] == 1:
-                    sc[INPUT_READS] += 1
-                else:
-                    sc[SPILL_READS] += 1
-        # Make room for the result and compute.
-        while sc[NCACHED] >= cache_size:
-            if _recency_evict(heap, sc, cached, dirty, in_slow,
-                              output_written, uses_left, is_output,
-                              stamp, pinned, aside, t, n) < 0:
-                return
-        if cached[v] == 0:
-            cached[v] = 1
-            sc[NCACHED] += 1
-        dirty[v] = 1
-        stamp[v] = t
-        sc[HEAPN] = _heap_push(heap, sc[HEAPN], t * n + v)
-        if sc[NCACHED] > sc[PEAK]:
-            sc[PEAK] = sc[NCACHED]
-        for i in range(start, end):
-            uses_left[ops[i]] -= 1
-        if want_trace:
-            trace[t] = sc[READS] + sc[WRITES]
-
-    # Drain: outputs still dirty must reach slow memory.
-    for u in range(n):
-        if dirty[u] == 1 and is_output[u] == 1 and output_written[u] == 0:
-            sc[WRITES] += 1
-            sc[OUTPUT_WRITES] += 1
-            output_written[u] = 1
-
-
-@njit(cache=True, nogil=True)
-def _belady_kernel(sched, indptr, ops, occ_next, first_use, uses_left0,
-                   is_input, is_output, n, cache_size, trace, want_trace, sc):
-    T = sched.shape[0]
-    cached = np.zeros(n, dtype=np.uint8)
-    dirty = np.zeros(n, dtype=np.uint8)
-    in_slow = np.empty(n, dtype=np.uint8)
-    output_written = np.zeros(n, dtype=np.uint8)
-    uses_left = np.empty(n, dtype=np.int64)
-    key = np.zeros(n, dtype=np.int64)
-    pinned = np.full(n, -1, dtype=np.int64)
-    for i in range(n):
-        in_slow[i] = is_input[i]
-        uses_left[i] = uses_left0[i]
-    heap = np.empty(ops.shape[0] + T + 2, dtype=np.int64)
-
-    for t in range(T):
-        v = sched[t]
-        start = indptr[t]
-        end = indptr[t + 1]
-        pinned[v] = t
-        for i in range(start, end):
-            pinned[ops[i]] = t
-        for i in range(start, end):
-            p = ops[i]
-            if cached[p] == 0:
-                if in_slow[p] == 0:
-                    sc[STATUS] = STATUS_OPERAND_MISSING
-                    sc[ERR_A] = p
-                    sc[ERR_B] = v
-                    return
-                while sc[NCACHED] >= cache_size:
-                    if _belady_evict(heap, sc, cached, dirty, in_slow,
-                                     output_written, uses_left, is_output,
-                                     key, pinned, t, n, T) < 0:
-                        return
-                cached[p] = 1
-                sc[NCACHED] += 1
-                sc[READS] += 1
-                if is_input[p] == 1:
-                    sc[INPUT_READS] += 1
-                else:
-                    sc[SPILL_READS] += 1
-        while sc[NCACHED] >= cache_size:
-            if _belady_evict(heap, sc, cached, dirty, in_slow,
-                             output_written, uses_left, is_output,
-                             key, pinned, t, n, T) < 0:
-                return
-        if cached[v] == 0:
-            cached[v] = 1
-            sc[NCACHED] += 1
-        dirty[v] = 1
-        nxt = first_use[v]
-        key[v] = nxt
-        sc[HEAPN] = _heap_push(heap, sc[HEAPN], (T - nxt) * n + v)
-        if sc[NCACHED] > sc[PEAK]:
-            sc[PEAK] = sc[NCACHED]
-        # Refresh: exactly one heap entry per operand use, pushed after
-        # the compute so it survives this step's evictions.
-        for i in range(start, end):
-            p = ops[i]
-            nxt = occ_next[i]
-            key[p] = nxt
-            sc[HEAPN] = _heap_push(heap, sc[HEAPN], (T - nxt) * n + p)
-            uses_left[p] -= 1
-        if want_trace:
-            trace[t] = sc[READS] + sc[WRITES]
-
-    for u in range(n):
-        if dirty[u] == 1 and is_output[u] == 1 and output_written[u] == 0:
-            sc[WRITES] += 1
-            sc[OUTPUT_WRITES] += 1
-            output_written[u] = 1
-
-
-@njit(cache=True, nogil=True)
-def _simulate_one(sched, indptr, ops, occ_next, first_use, uses_left0,
-                  is_input, is_output, n, cache_size, policy_code,
-                  trace, want_trace, sc):
-    """Policy dispatch: 0 = LRU, 1 = FIFO, 2 = Belady."""
-    if policy_code == 2:
-        _belady_kernel(sched, indptr, ops, occ_next, first_use, uses_left0,
-                       is_input, is_output, n, cache_size, trace, want_trace,
-                       sc)
-    else:
-        _recency_kernel(sched, indptr, ops, uses_left0, is_input, is_output,
-                        n, cache_size, policy_code == 0, trace, want_trace,
-                        sc)
-
-
-@njit(cache=True, nogil=True)
-def _run_grid_kernel(sched, indptr, ops, occ_next, first_use, uses_left0,
-                     is_input, is_output, n, cache_sizes, policy_codes,
-                     trace, out):
-    """Batched sweep: one compiled call steps every configuration of a
-    ``(cache_size x policy)`` grid over one shared plan (the occurrence
-    arrays — including the next-use backward scan — are read-only and
-    shared across all cells)."""
-    for j in range(cache_sizes.shape[0]):
-        _simulate_one(sched, indptr, ops, occ_next, first_use, uses_left0,
-                      is_input, is_output, n, cache_sizes[j], policy_codes[j],
-                      trace, False, out[j])
-
-
-# ----------------------------------------------------------------------
-# Python wrappers.
-# ----------------------------------------------------------------------
-
-_DUMMY_TRACE = np.empty(1, dtype=np.int64)
-_compile_s: float | None = None
-
-
-def _note_first_call(elapsed: float) -> None:
-    """Remember the first kernel invocation's wall time (on a cold
-    numba cache this is dominated by JIT compilation) and publish it as
-    the ``pebbling.kernel.compile_s`` gauge once per registry life."""
-    global _compile_s
-    if _compile_s is None:
-        _compile_s = elapsed
-    if _telemetry_enabled():
-        gauge = metrics().gauge("pebbling.kernel.compile_s")
-        if gauge.count == 0:
-            gauge.set(_compile_s)
-
-
-def simulate_plan(plan_arrays, is_input_u8, is_output_u8, cache_size,
-                  policy_code, trace=None) -> np.ndarray:
-    """Run one ``(cache_size, policy)`` configuration over a plan's
-    kernel arrays; returns the ``SC_LEN`` scalar vector (first eight
-    slots are the count tuple, then status/diagnostics).
-
-    ``plan_arrays`` is the tuple from
-    :meth:`_SchedulePlan.kernel_arrays` — contiguous int64 arrays in
-    ``PLAN_ARRAY_NAMES`` order, possibly read-only memmaps straight from
-    a plan bundle (the kernels never write them).
-    """
-    sched, indptr, ops, occ_next, first_use, uses_left0 = plan_arrays
-    sc = np.zeros(SC_LEN, dtype=np.int64)
-    want_trace = trace is not None
-    t0 = time.perf_counter()
-    _simulate_one(sched, indptr, ops, occ_next, first_use, uses_left0,
-                  is_input_u8, is_output_u8, is_input_u8.shape[0],
-                  cache_size, policy_code,
-                  trace if want_trace else _DUMMY_TRACE, want_trace, sc)
-    _note_first_call(time.perf_counter() - t0)
-    return sc
-
-
-def run_grid(plan_arrays, is_input_u8, is_output_u8, cache_sizes,
-             policy_codes) -> np.ndarray:
-    """Batched sweep over one plan: returns an ``(n_configs, SC_LEN)``
-    matrix, one scalar vector per ``(cache_size, policy)`` cell."""
-    sched, indptr, ops, occ_next, first_use, uses_left0 = plan_arrays
-    Ms = np.ascontiguousarray(cache_sizes, dtype=np.int64)
-    pols = np.ascontiguousarray(policy_codes, dtype=np.int64)
-    out = np.zeros((Ms.shape[0], SC_LEN), dtype=np.int64)
-    t0 = time.perf_counter()
-    _run_grid_kernel(sched, indptr, ops, occ_next, first_use, uses_left0,
-                     is_input_u8, is_output_u8, is_input_u8.shape[0],
-                     Ms, pols, _DUMMY_TRACE, out)
-    _note_first_call(time.perf_counter() - t0)
-    return out

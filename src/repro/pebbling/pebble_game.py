@@ -27,8 +27,9 @@ from enum import Enum
 import numpy as np
 
 from repro.cdag.graph import CDAG
-from repro.errors import PebbleGameError
-from repro.pebbling.cache import make_policy
+from repro.errors import CacheError, PebbleGameError, ScheduleError
+from repro.simcore.plan import SchedulePlan
+from repro.simcore.pyloops import simulate_py
 
 __all__ = ["Move", "MoveKind", "PebbleGame", "trace_from_executor"]
 
@@ -132,64 +133,43 @@ def trace_from_executor(
 ) -> PebbleGame:
     """Replay an executor run as pebble-game moves and return the game.
 
-    The move sequence mirrors :class:`~repro.pebbling.executor.CacheExecutor`
-    exactly (same policy objects, same eviction decisions), so
-    ``game.io_count`` equals the executor's ``IOResult.total`` — asserted
-    by the integration tests.  Raises :class:`PebbleGameError` if any
-    implied move would be illegal.
+    The simulation core's pure-Python loops emit every implied machine
+    move — load / store / delete / compute, in execution order — through
+    their ``events`` hook; forwarding those events into a
+    :class:`PebbleGame` replays the *same* simulation (same eviction
+    decisions, no second policy implementation) under the game's
+    legality checks, so ``game.io_count`` equals the executor's
+    ``IOResult.total`` — asserted by the integration tests.  Raises
+    :class:`PebbleGameError` if any implied move would be illegal.
     """
-    schedule = np.asarray(schedule, dtype=np.int64)
+    codes = {"lru": 0, "fifo": 1, "belady": 2}
+    if policy not in codes:
+        raise CacheError(f"unknown eviction policy {policy!r}")
+    schedule = np.ascontiguousarray(schedule, dtype=np.int64)
     game = PebbleGame(cdag, cache_size)
     is_input = cdag.in_degree() == 0
     is_output = np.zeros(cdag.n_vertices, dtype=bool)
     is_output[cdag.outputs()] = True
+    plan = SchedulePlan(cdag, schedule, validated=False)
 
-    uses_left = np.zeros(cdag.n_vertices, dtype=np.int64)
-    use_times: dict[int, list[int]] = {}
-    for t, v in enumerate(schedule.tolist()):
-        for p in cdag.predecessors(v).tolist():
-            uses_left[p] += 1
-            use_times.setdefault(p, []).append(t)
+    moves = {
+        "load": game.load,
+        "store": game.store,
+        "delete": game.delete,
+        "compute": game.compute,
+    }
 
-    pol = make_policy(policy, use_times=use_times)
-    output_written: set[int] = set()
+    def forward(kind: str, v: int) -> None:
+        moves[kind](v)
 
-    def evict(candidates: set[int]) -> None:
-        victim = pol.choose_victim(candidates)
-        pol.on_evict(victim)
-        live = uses_left[victim] > 0
-        unwritten_output = bool(is_output[victim]) and victim not in output_written
-        if victim not in game.blue and (live or unwritten_output):
-            game.store(victim)
-            if unwritten_output:
-                output_written.add(victim)
-        game.delete(victim)
-
-    for t, v in enumerate(schedule.tolist()):
-        preds = cdag.predecessors(v).tolist()
-        pinned = set(preds) | {v}
-        for p in preds:
-            if p not in game.red:
-                while len(game.red) >= cache_size:
-                    evict(game.red - pinned)
-                game.load(p)
-                pol.on_insert(p, t)
-        while len(game.red) >= cache_size:
-            evict(game.red - pinned)
-        game.compute(v)
-        pol.on_insert(v, t)
-        # Each operand use touches the policy exactly once, *after* the
-        # compute: a pre-compute touch could be destructively consumed
-        # by this step's evictions while the operand is pinned (Belady's
-        # lazy heap), so the post-compute touch is the one that defines
-        # the policy's view of the use.
-        for p in preds:
-            pol.on_use(p, t)
-            uses_left[p] -= 1
-
-    for v in sorted(game.red):
-        if is_output[v] and v not in output_written:
-            game.store(v)
-            output_written.add(v)
+    try:
+        simulate_py(
+            plan, is_input, is_output, cache_size, codes[policy],
+            events=forward,
+        )
+    except ScheduleError as exc:
+        # The executor's "operand unavailable" is the game's illegal
+        # LOAD (no blue pebble) — keep the game-side exception type.
+        raise PebbleGameError(str(exc)) from exc
     game.assert_complete()
     return game

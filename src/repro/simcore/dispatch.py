@@ -1,0 +1,156 @@
+"""Kernel dispatch for the columnar simulation core.
+
+One gating decision serves every simulator built on
+:mod:`repro.simcore` — the pebble-game executor, the trace-driven cache
+simulators and the parallel machine model all consult the same mode, so
+"the kernels are on" means the same thing everywhere.
+
+numba is an *optional* dependency (the ``speed`` extra).  Three modes:
+
+- ``jit`` — numba present, kernels compiled with ``cache=True`` (the
+  compilation is paid once per machine, then loaded from the on-disk
+  cache);
+- ``off`` — numba absent, or ``REPRO_NO_JIT=1``: callers fall back to
+  the pure-Python loops (:mod:`repro.simcore.pyloops` and the
+  dict-based trace engine);
+- ``interp`` — test-only (``REPRO_FORCE_KERNELS=1`` or
+  ``set_mode("interp")``): run the kernel *code* under the plain
+  interpreter even without numba, so the equivalence suites exercise
+  the kernel algorithm everywhere.
+
+Callers count the path taken per simulation
+(``simcore.kernel.{jit,interp,fallback}``, mirrored as
+``pebbling.kernel.*`` by the executor for dashboard continuity) and the
+wall time of the first kernel invocation per process
+(``simcore.kernel.compile_s`` / legacy ``pebbling.kernel.compile_s`` —
+on a cold numba cache this is dominated by JIT compilation).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.metrics import metrics
+from repro.telemetry.spans import enabled as _telemetry_enabled
+
+__all__ = [
+    "HAVE_NUMBA",
+    "njit",
+    "active_mode",
+    "available",
+    "set_mode",
+    "forced_mode",
+    "note_first_call",
+    "count_path",
+]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # ImportError, or a broken numba install
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Identity decorator: the kernels are valid plain Python over
+        numpy arrays, so without numba they stay importable and runnable
+        (the ``interp`` test mode and the hypothesis suites rely on
+        this)."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+#: ``set_mode`` override; None means "decide from numba + environment".
+_MODE_OVERRIDE: str | None = None
+
+
+def active_mode() -> str:
+    """The simulation path core consumers will take: ``"jit"``,
+    ``"interp"`` or ``"off"`` (= pure-Python fallback loops)."""
+    mode = _MODE_OVERRIDE
+    if mode is None:
+        if _env_flag("REPRO_NO_JIT"):
+            return "off"
+        if HAVE_NUMBA:
+            return "jit"
+        return "interp" if _env_flag("REPRO_FORCE_KERNELS") else "off"
+    return mode
+
+
+def available() -> bool:
+    """Whether the kernel path (compiled or interpreted) is active."""
+    return active_mode() != "off"
+
+
+def set_mode(mode: str | None) -> None:
+    """Override the dispatch mode: ``"off"``, ``"interp"``, ``"jit"``,
+    ``"auto"``/None (= re-derive from numba + environment).  Used by
+    ``--no-jit`` CLI flags, benchmarks and tests."""
+    global _MODE_OVERRIDE
+    if mode in ("auto", None):
+        _MODE_OVERRIDE = None
+        return
+    if mode not in ("off", "interp", "jit"):
+        raise ValueError(f"unknown kernel mode {mode!r}")
+    if mode == "jit" and not HAVE_NUMBA:
+        raise RuntimeError("kernel mode 'jit' requires numba (pip install repro[speed])")
+    _MODE_OVERRIDE = mode
+
+
+class forced_mode:
+    """Context manager: force a dispatch mode, restore the previous
+    override on exit (benchmark pairing and tests)."""
+
+    def __init__(self, mode: str | None):
+        self.mode = mode
+        self._prev: str | None = None
+
+    def __enter__(self):
+        self._prev = _MODE_OVERRIDE
+        set_mode(self.mode)
+        return self
+
+    def __exit__(self, *exc):
+        global _MODE_OVERRIDE
+        _MODE_OVERRIDE = self._prev
+        return False
+
+
+# ----------------------------------------------------------------------
+# First-call bookkeeping and path counters.
+# ----------------------------------------------------------------------
+
+_compile_s: float | None = None
+
+
+def note_first_call(elapsed: float) -> None:
+    """Remember the first kernel invocation's wall time (on a cold numba
+    cache this is dominated by JIT compilation) and publish it as the
+    ``simcore.kernel.compile_s`` gauge — plus the legacy
+    ``pebbling.kernel.compile_s`` name — once per registry life."""
+    global _compile_s
+    if _compile_s is None:
+        _compile_s = elapsed
+    if _telemetry_enabled():
+        for name in ("simcore.kernel.compile_s", "pebbling.kernel.compile_s"):
+            gauge = metrics().gauge(name)
+            if gauge.count == 0:
+                gauge.set(_compile_s)
+
+
+def count_path(mode: str, n: int = 1) -> None:
+    """Increment the core's per-simulation path counter
+    (``simcore.kernel.{jit,interp,fallback}``); ``n`` simulations at
+    once for batched grids.  No-op while telemetry is disabled."""
+    if n and _telemetry_enabled():
+        name = mode if mode != "off" else "fallback"
+        metrics().inc(f"simcore.kernel.{name}", n)

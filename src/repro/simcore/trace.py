@@ -1,0 +1,323 @@
+"""Trace-cache engine of the simulation core.
+
+One implementation of the write-back, write-allocate LRU cache serves
+every address-trace simulator: the set-associative engine
+(:class:`LRUCacheCore`, with fully-associative = one set) replaces the
+four inlined copies of the eviction rule that
+:mod:`repro.tracesim.cache` used to carry, and the columnar
+:func:`run_trace_grid` kernel steps many capacities over one trace in
+lockstep — the same ``(config, slot)`` layout as the pebbling grid
+kernel.
+
+The lockstep kernel relies on an LRU-specific degeneracy: every touch
+re-stamps a line with the current access index, so stamps are pushed in
+strictly increasing order and the lazy min-heap of ``(stamp, line)``
+entries *is* the access stream itself.  Victim selection is a pointer
+walking forward through the trace until it finds a position whose line
+is still cached and was last touched exactly there — no heap storage,
+no ordering work, and the per-config state is just the dense
+``(config, line)`` matrices plus one queue pointer per config.
+Equivalence with the ``OrderedDict`` engine (move-to-end on hit,
+pop-oldest on miss) is structural — unique increasing stamps make
+"oldest inserted/touched" and "minimum stamp" the same line — and the
+tracesim equivalence suite asserts it anyway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.simcore.dispatch import (
+    active_mode,
+    count_path,
+    njit,
+    note_first_call,
+)
+
+__all__ = ["CacheStats", "LRUCacheCore", "run_trace_grid"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one simulated run.
+
+    Counters form a commutative monoid under ``+`` (identity
+    ``CacheStats()``), so per-shard counters collected from parallel
+    runner workers aggregate losslessly — including write-backs, which
+    derived measures like :attr:`io` depend on.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def io(self) -> int:
+        """Reads from + writes to slow memory (the paper's measure, at
+        line granularity)."""
+        return self.misses + self.writebacks
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+    def __radd__(self, other) -> "CacheStats":
+        if other == 0:  # supports sum(stats_list)
+            return CacheStats(self.accesses, self.hits, self.misses,
+                              self.writebacks)
+        return self.__add__(other)
+
+    @classmethod
+    def merge(cls, shards) -> "CacheStats":
+        """Sum an iterable of per-shard counters into one total."""
+        total = cls()
+        for shard in shards:
+            total = total + shard
+        return total
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, counters) -> "CacheStats":
+        return cls(
+            accesses=int(counters["accesses"]),
+            hits=int(counters["hits"]),
+            misses=int(counters["misses"]),
+            writebacks=int(counters["writebacks"]),
+        )
+
+
+class LRUCacheCore:
+    """The one dict-based LRU cache state: ``n_sets`` buckets of at most
+    ``ways`` lines each, write-back and write-allocate.
+
+    Fully associative is ``n_sets=1, ways=capacity``.  The tracesim
+    classes are thin views over an instance of this core — they own the
+    :class:`CacheStats`, spans and address-to-line mapping; the core
+    owns the eviction rule, exactly once.
+    """
+
+    __slots__ = ("n_sets", "ways", "buckets")
+
+    def __init__(self, n_sets: int, ways: int):
+        self.n_sets = n_sets
+        self.ways = ways
+        self.buckets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(n_sets)
+        ]
+
+    def access(self, line: int, is_write: bool) -> tuple[bool, bool]:
+        """Touch ``line``; returns ``(hit, wrote_back)``."""
+        bucket = self.buckets[line % self.n_sets] if self.n_sets > 1 \
+            else self.buckets[0]
+        if line in bucket:
+            bucket.move_to_end(line)
+            if is_write:
+                bucket[line] = True
+            return True, False
+        wrote_back = False
+        if len(bucket) >= self.ways:
+            _, dirty = bucket.popitem(last=False)
+            wrote_back = bool(dirty)
+        bucket[line] = is_write
+        return False, wrote_back
+
+    def flush(self) -> int:
+        """Drop every line; returns the number of dirty write-backs."""
+        writebacks = 0
+        for bucket in self.buckets:
+            for dirty in bucket.values():
+                if dirty:
+                    writebacks += 1
+            bucket.clear()
+        return writebacks
+
+    def run_counts(self, trace, line_size: int) -> tuple[int, int, int, int]:
+        """Consume ``(address, is_write)`` pairs; returns the raw
+        ``(accesses, hits, misses, writebacks)`` counts **without**
+        flushing.
+
+        This is the one inlined hot loop (locally bound dict methods, no
+        per-access attribute lookups — the E10 traces run to 10^7
+        accesses) that used to exist in four copies across the tracesim
+        structs.  The fully-associative case hoists the single bucket
+        out of the loop.
+        """
+        accesses = hits = misses = writebacks = 0
+        n_sets = self.n_sets
+        ways = self.ways
+        if n_sets == 1:
+            bucket = self.buckets[0]
+            move_to_end = bucket.move_to_end
+            popitem = bucket.popitem
+            for address, is_write in trace:
+                line = address // line_size if line_size > 1 else address
+                accesses += 1
+                if line in bucket:
+                    hits += 1
+                    move_to_end(line)
+                    if is_write:
+                        bucket[line] = True
+                    continue
+                misses += 1
+                if len(bucket) >= ways:
+                    _, dirty = popitem(last=False)
+                    if dirty:
+                        writebacks += 1
+                bucket[line] = is_write
+            return accesses, hits, misses, writebacks
+        buckets = self.buckets
+        for address, is_write in trace:
+            line = address // line_size if line_size > 1 else address
+            bucket = buckets[line % n_sets]
+            accesses += 1
+            if line in bucket:
+                hits += 1
+                bucket.move_to_end(line)
+                if is_write:
+                    bucket[line] = True
+                continue
+            misses += 1
+            if len(bucket) >= ways:
+                _, dirty = bucket.popitem(last=False)
+                if dirty:
+                    writebacks += 1
+            bucket[line] = is_write
+        return accesses, hits, misses, writebacks
+
+
+# ----------------------------------------------------------------------
+# Columnar lockstep kernel (fully associative; see module docstring).
+# ----------------------------------------------------------------------
+
+#: ``run_trace_grid`` output columns.
+TR_ACCESSES, TR_HITS, TR_MISSES, TR_WRITEBACKS = 0, 1, 2, 3
+TR_LEN = 4
+
+
+@njit(cache=True, nogil=True)
+def _trace_lockstep(lines, wbit, capacities, cached, dirty, stamp, qptr,
+                    n_cached, out):
+    """Step every capacity row through the dense-line trace in lockstep.
+
+    ``lines`` holds dense line ids in ``[0, L)``; all ``(config, line)``
+    state matrices are initialised here.  ``qptr`` row ``j`` is the lazy
+    LRU queue head: positions before it are all stale for row ``j``.
+    """
+    A = lines.shape[0]
+    C = capacities.shape[0]
+    L = cached.shape[1]
+    for j in range(C):
+        for k in range(TR_LEN):
+            out[j, k] = 0
+        for i in range(L):
+            cached[j, i] = 0
+            dirty[j, i] = 0
+            stamp[j, i] = 0
+        qptr[j] = 0
+        n_cached[j] = 0
+    for a in range(A):
+        line = lines[a]
+        w = wbit[a]
+        for j in range(C):
+            out[j, TR_ACCESSES] += 1
+            if cached[j, line]:
+                out[j, TR_HITS] += 1
+                stamp[j, line] = a
+                if w:
+                    dirty[j, line] = 1
+            else:
+                out[j, TR_MISSES] += 1
+                if n_cached[j] >= capacities[j]:
+                    q = qptr[j]
+                    while True:
+                        u = lines[q]
+                        if cached[j, u] and stamp[j, u] == q:
+                            cached[j, u] = 0
+                            n_cached[j] -= 1
+                            if dirty[j, u]:
+                                out[j, TR_WRITEBACKS] += 1
+                                dirty[j, u] = 0
+                            q += 1
+                            break
+                        q += 1
+                    qptr[j] = q
+                cached[j, line] = 1
+                dirty[j, line] = w
+                stamp[j, line] = a
+                n_cached[j] += 1
+    # Flush: every dirty resident line writes back at end of run.
+    for j in range(C):
+        for i in range(L):
+            if cached[j, i] and dirty[j, i]:
+                out[j, TR_WRITEBACKS] += 1
+
+
+def densify_trace(addresses, is_write, line_size: int = 1):
+    """Map an address trace onto dense line ids: returns
+    ``(lines, wbit)`` with ``lines`` in ``[0, L)`` — the bounded-id
+    regime the columnar kernel's ``(config, line)`` state needs."""
+    addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+    lines = addresses // line_size if line_size > 1 else addresses
+    _, dense = np.unique(lines, return_inverse=True)
+    wbit = np.ascontiguousarray(is_write, dtype=np.uint8)
+    return np.ascontiguousarray(dense, dtype=np.int64), wbit
+
+
+def run_trace_grid(addresses, is_write, capacities,
+                   line_size: int = 1) -> list[CacheStats]:
+    """Batched fully-associative LRU sweep: one pass over the trace
+    steps every capacity in lockstep; returns one :class:`CacheStats`
+    (flush included) per capacity.
+
+    Falls back to the dict engine per capacity when the kernels are off
+    — bit-identical by the tracesim equivalence suite.
+    """
+    caps = np.ascontiguousarray(capacities, dtype=np.int64)
+    C = caps.shape[0]
+    mode = active_mode()
+    if mode == "off":
+        out = []
+        for cap in caps.tolist():
+            core = LRUCacheCore(1, int(cap))
+            counts = core.run_counts(zip(addresses, is_write), line_size)
+            stats = CacheStats(*counts)
+            stats.writebacks += core.flush()
+            out.append(stats)
+        count_path("off", C)
+        return out
+    lines, wbit = densify_trace(addresses, is_write, line_size)
+    L = max(1, int(lines.max()) + 1) if lines.size else 1
+    cached = np.empty((C, L), dtype=np.uint8)
+    dirty = np.empty((C, L), dtype=np.uint8)
+    stamp = np.empty((C, L), dtype=np.int64)
+    qptr = np.empty(C, dtype=np.int64)
+    n_cached = np.empty(C, dtype=np.int64)
+    out = np.empty((C, TR_LEN), dtype=np.int64)
+    t0 = perf_counter()
+    _trace_lockstep(lines, wbit, caps, cached, dirty, stamp, qptr,
+                    n_cached, out)
+    note_first_call(perf_counter() - t0)
+    count_path(mode, C)
+    return [CacheStats(*(int(x) for x in row)) for row in out]

@@ -10,86 +10,30 @@ large-``n`` regime of experiment E10 with realistic cache organisations:
 - :class:`SetAssociativeLRU` — hardware-shaped (sets + ways + lines),
   for the ablation of how much the idealised model under-counts.
 
+Both are thin views over the simulation core's one LRU engine
+(:class:`repro.simcore.trace.LRUCacheCore`): this module owns the
+address-to-line mapping, the :class:`CacheStats` accumulation and the
+``tracesim.run`` spans; the core owns the eviction rule, exactly once
+(the pre-unification ``OrderedDict`` loops survive verbatim as the
+golden reference in ``tests/tracesim/_reference.py``).  When the
+compiled kernels are active, :meth:`FullyAssociativeLRU.run` routes a
+cold run through the columnar lockstep kernel
+(:func:`repro.simcore.trace.run_trace_grid`).
+
 Counters distinguish hits, misses, and dirty evictions (write-backs), so
 ``misses + writebacks`` mirrors the paper's read+write I/O measure.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
+import numpy as np
 
+from repro.simcore.dispatch import active_mode
+from repro.simcore.trace import CacheStats, LRUCacheCore, run_trace_grid
 from repro.telemetry.spans import span
 from repro.utils.validation import check_positive_int
 
 __all__ = ["CacheStats", "FullyAssociativeLRU", "SetAssociativeLRU"]
-
-
-@dataclass
-class CacheStats:
-    """Access counters for one simulated run.
-
-    Counters form a commutative monoid under ``+`` (identity
-    ``CacheStats()``), so per-shard counters collected from parallel
-    runner workers aggregate losslessly — including write-backs, which
-    derived measures like :attr:`io` depend on.
-    """
-
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    writebacks: int = 0
-
-    @property
-    def io(self) -> int:
-        """Reads from + writes to slow memory (the paper's measure, at
-        line granularity)."""
-        return self.misses + self.writebacks
-
-    @property
-    def miss_rate(self) -> float:
-        return self.misses / self.accesses if self.accesses else 0.0
-
-    def __add__(self, other: "CacheStats") -> "CacheStats":
-        if not isinstance(other, CacheStats):
-            return NotImplemented
-        return CacheStats(
-            accesses=self.accesses + other.accesses,
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            writebacks=self.writebacks + other.writebacks,
-        )
-
-    def __radd__(self, other) -> "CacheStats":
-        if other == 0:  # supports sum(stats_list)
-            return CacheStats(self.accesses, self.hits, self.misses,
-                              self.writebacks)
-        return self.__add__(other)
-
-    @classmethod
-    def merge(cls, shards) -> "CacheStats":
-        """Sum an iterable of per-shard counters into one total."""
-        total = cls()
-        for shard in shards:
-            total = total + shard
-        return total
-
-    def as_dict(self) -> dict:
-        return {
-            "accesses": self.accesses,
-            "hits": self.hits,
-            "misses": self.misses,
-            "writebacks": self.writebacks,
-        }
-
-    @classmethod
-    def from_dict(cls, counters) -> "CacheStats":
-        return cls(
-            accesses=int(counters["accesses"]),
-            hits=int(counters["hits"]),
-            misses=int(counters["misses"]),
-            writebacks=int(counters["writebacks"]),
-        )
 
 
 class FullyAssociativeLRU:
@@ -107,77 +51,67 @@ class FullyAssociativeLRU:
     def __init__(self, capacity_lines: int, line_size: int = 1):
         self.capacity = check_positive_int(capacity_lines, "capacity_lines")
         self.line_size = check_positive_int(line_size, "line_size")
-        self._lines: OrderedDict[int, bool] = OrderedDict()  # line -> dirty
+        self._core = LRUCacheCore(1, self.capacity)
         self.stats = CacheStats()
 
     def access(self, address: int, is_write: bool = False) -> bool:
         """Touch ``address``; returns True on hit."""
         line = address // self.line_size
+        hit, wrote_back = self._core.access(line, is_write)
         stats = self.stats
         stats.accesses += 1
-        if line in self._lines:
+        if hit:
             stats.hits += 1
-            self._lines.move_to_end(line)
-            if is_write:
-                self._lines[line] = True
-            return True
-        stats.misses += 1
-        if len(self._lines) >= self.capacity:
-            _, dirty = self._lines.popitem(last=False)
-            if dirty:
+        else:
+            stats.misses += 1
+            if wrote_back:
                 stats.writebacks += 1
-        self._lines[line] = is_write
-        return False
+        return hit
 
     def flush(self) -> None:
         """Write back all dirty lines (end of run)."""
-        for _, dirty in self._lines.items():
-            if dirty:
-                self.stats.writebacks += 1
-        self._lines.clear()
+        self.stats.writebacks += self._core.flush()
 
     def run(self, trace) -> CacheStats:
         """Consume an iterable of ``(address, is_write)`` pairs and
         flush; returns the statistics.
 
-        The loop is the :meth:`access` logic inlined with locally bound
-        state and counters committed once at the end — identical
-        semantics, but no per-access attribute lookups (the E10 traces
-        run to 10^7 accesses).
+        The hot loop lives in :meth:`LRUCacheCore.run_counts` (the
+        E10 traces run to 10^7 accesses).  With the compiled kernels on
+        and the cache cold, the trace is materialised once and handed to
+        the columnar lockstep kernel instead — bit-identical by the
+        tracesim equivalence suite.
         """
         with span(
             "tracesim.run", organisation="fully-associative",
             capacity_lines=self.capacity, line_size=self.line_size,
         ) as sp:
-            lines = self._lines
-            move_to_end = lines.move_to_end
-            popitem = lines.popitem
-            line_size = self.line_size
-            capacity = self.capacity
-            accesses = hits = misses = writebacks = 0
-            for address, is_write in trace:
-                line = address // line_size if line_size > 1 else address
-                accesses += 1
-                if line in lines:
-                    hits += 1
-                    move_to_end(line)
-                    if is_write:
-                        lines[line] = True
-                    continue
-                misses += 1
-                if len(lines) >= capacity:
-                    _, dirty = popitem(last=False)
-                    if dirty:
-                        writebacks += 1
-                lines[line] = is_write
-            stats = self.stats
-            stats.accesses += accesses
-            stats.hits += hits
-            stats.misses += misses
-            stats.writebacks += writebacks
-            self.flush()
-            _record_cache_counters(sp, stats)
-            return stats
+            if active_mode() == "jit" and not self._core.buckets[0]:
+                # Pack (address, is_write) into one int64 stream so a
+                # single fromiter pass materialises the generator.
+                enc = np.fromiter(
+                    (addr * 2 + bool(w) for addr, w in trace),
+                    dtype=np.int64,
+                )
+                g = run_trace_grid(
+                    enc >> 1, (enc & 1).astype(np.uint8),
+                    [self.capacity], line_size=self.line_size,
+                )[0]
+                stats = self.stats
+                stats.accesses += g.accesses
+                stats.hits += g.hits
+                stats.misses += g.misses
+                stats.writebacks += g.writebacks
+            else:
+                counts = self._core.run_counts(trace, self.line_size)
+                stats = self.stats
+                stats.accesses += counts[0]
+                stats.hits += counts[1]
+                stats.misses += counts[2]
+                stats.writebacks += counts[3]
+                self.flush()
+            _record_cache_counters(sp, self.stats)
+            return self.stats
 
 
 class SetAssociativeLRU:
@@ -187,9 +121,7 @@ class SetAssociativeLRU:
         self.n_sets = check_positive_int(n_sets, "n_sets")
         self.ways = check_positive_int(ways, "ways")
         self.line_size = check_positive_int(line_size, "line_size")
-        self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(self.n_sets)
-        ]
+        self._core = LRUCacheCore(self.n_sets, self.ways)
         self.stats = CacheStats()
 
     @property
@@ -198,64 +130,33 @@ class SetAssociativeLRU:
 
     def access(self, address: int, is_write: bool = False) -> bool:
         line = address // self.line_size
-        bucket = self._sets[line % self.n_sets]
+        hit, wrote_back = self._core.access(line, is_write)
         stats = self.stats
         stats.accesses += 1
-        if line in bucket:
+        if hit:
             stats.hits += 1
-            bucket.move_to_end(line)
-            if is_write:
-                bucket[line] = True
-            return True
-        stats.misses += 1
-        if len(bucket) >= self.ways:
-            _, dirty = bucket.popitem(last=False)
-            if dirty:
+        else:
+            stats.misses += 1
+            if wrote_back:
                 stats.writebacks += 1
-        bucket[line] = is_write
-        return False
+        return hit
 
     def flush(self) -> None:
-        for bucket in self._sets:
-            for _, dirty in bucket.items():
-                if dirty:
-                    self.stats.writebacks += 1
-            bucket.clear()
+        self.stats.writebacks += self._core.flush()
 
     def run(self, trace) -> CacheStats:
-        """Same inlined hot loop as the fully-associative simulator,
-        with the set lookup (``line % n_sets``) resolved on locally
-        bound state."""
+        """Same core hot loop, with the set lookup (``line % n_sets``)
+        resolved inside the core."""
         with span(
             "tracesim.run", organisation="set-associative",
             capacity_lines=self.capacity_lines, line_size=self.line_size,
         ) as sp:
-            sets = self._sets
-            n_sets = self.n_sets
-            ways = self.ways
-            line_size = self.line_size
-            accesses = hits = misses = writebacks = 0
-            for address, is_write in trace:
-                line = address // line_size if line_size > 1 else address
-                bucket = sets[line % n_sets]
-                accesses += 1
-                if line in bucket:
-                    hits += 1
-                    bucket.move_to_end(line)
-                    if is_write:
-                        bucket[line] = True
-                    continue
-                misses += 1
-                if len(bucket) >= ways:
-                    _, dirty = bucket.popitem(last=False)
-                    if dirty:
-                        writebacks += 1
-                bucket[line] = is_write
+            counts = self._core.run_counts(trace, self.line_size)
             stats = self.stats
-            stats.accesses += accesses
-            stats.hits += hits
-            stats.misses += misses
-            stats.writebacks += writebacks
+            stats.accesses += counts[0]
+            stats.hits += counts[1]
+            stats.misses += counts[2]
+            stats.writebacks += counts[3]
             self.flush()
             _record_cache_counters(sp, stats)
             return stats
